@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Ablation: the dependence delay model (Table 1). Exact VLIW delays allow
+ * negative anti/output delays; the conservative model (for superscalars)
+ * clamps them. On EVR-form (DSA) code the difference only shows through
+ * memory anti/output dependences; on single-register code (dsaForm off)
+ * the register anti- and output dependences reappear and the two columns
+ * of Table 1 visibly move the MII. The single-register study uses
+ * dedicated distance<=1 loops (that form cannot express the
+ * back-substituted corpus).
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "ir/loop_builder.hpp"
+
+namespace {
+
+using namespace ims;
+using namespace ims::bench;
+using ir::Opcode;
+
+/** Raw (distance-1) loops expressible in single-register form. */
+std::vector<ir::Loop>
+rawLoops()
+{
+    std::vector<ir::Loop> loops;
+    {
+        // y[i] = a * x[i] with raw address/counter recurrences.
+        ir::LoopBuilder b("raw_scale");
+        b.liveIn("a");
+        b.recurrence("ax");
+        b.op(Opcode::kAddrAdd, "ax", {b.reg("ax", 1), b.imm(8)});
+        b.load("x", "X", 0, b.reg("ax"));
+        b.op(Opcode::kMul, "t", {b.reg("a"), b.reg("x")});
+        b.store("Y", 0, b.reg("ax"), b.reg("t"));
+        b.closeLoop();
+        loops.push_back(b.build());
+    }
+    {
+        // s += x[i]*y[i], raw.
+        ir::LoopBuilder b("raw_dot");
+        b.recurrence("ax").recurrence("s");
+        b.op(Opcode::kAddrAdd, "ax", {b.reg("ax", 1), b.imm(8)});
+        b.load("x", "X", 0, b.reg("ax"));
+        b.load("y", "Y", 0, b.reg("ax"));
+        b.op(Opcode::kMul, "t", {b.reg("x"), b.reg("y")});
+        b.op(Opcode::kAdd, "s", {b.reg("s", 1), b.reg("t")});
+        b.closeLoop();
+        loops.push_back(b.build());
+    }
+    {
+        // First-order recurrence, raw.
+        ir::LoopBuilder b("raw_rec1");
+        b.liveIn("a");
+        b.recurrence("ax").recurrence("x");
+        b.op(Opcode::kAddrAdd, "ax", {b.reg("ax", 1), b.imm(8)});
+        b.load("bv", "B", 0, b.reg("ax"));
+        b.op(Opcode::kMul, "m", {b.reg("a"), b.reg("x", 1)});
+        b.op(Opcode::kAdd, "x", {b.reg("m"), b.reg("bv")});
+        b.store("X", 0, b.reg("ax"), b.reg("x"));
+        b.closeLoop();
+        loops.push_back(b.build());
+    }
+    {
+        // Three-point stencil, raw control.
+        ir::LoopBuilder b("raw_stencil");
+        b.liveIn("w");
+        b.recurrence("ax");
+        b.op(Opcode::kAddrAdd, "ax", {b.reg("ax", 1), b.imm(8)});
+        b.load("xm", "X", -1, b.reg("ax"));
+        b.load("x0", "X", 0, b.reg("ax"));
+        b.load("xp", "X", 1, b.reg("ax"));
+        b.op(Opcode::kAdd, "s1", {b.reg("xm"), b.reg("x0")});
+        b.op(Opcode::kAdd, "s2", {b.reg("s1"), b.reg("xp")});
+        b.op(Opcode::kMul, "y", {b.reg("w"), b.reg("s2")});
+        b.store("Y", 0, b.reg("ax"), b.reg("y"));
+        b.closeLoop();
+        loops.push_back(b.build());
+    }
+    return loops;
+}
+
+struct Aggregate
+{
+    double mean_mii = 0.0;
+    double mean_ii = 0.0;
+    int count = 0;
+};
+
+Aggregate
+run(const std::vector<ir::Loop>& loops,
+    const machine::MachineModel& machine, graph::DelayMode mode,
+    bool dsa_form)
+{
+    Aggregate agg;
+    for (const auto& loop : loops) {
+        graph::GraphOptions graph_options;
+        graph_options.delayMode = mode;
+        graph_options.dsaForm = dsa_form;
+        const auto g = graph::buildDepGraph(loop, machine, graph_options);
+        const auto sccs = graph::findSccs(g);
+        sched::ModuloScheduleOptions options;
+        options.budgetRatio = 6.0;
+        const auto outcome =
+            sched::moduloSchedule(loop, machine, g, sccs, options);
+        agg.mean_mii += outcome.mii;
+        agg.mean_ii += outcome.schedule.ii;
+        ++agg.count;
+    }
+    agg.mean_mii /= agg.count;
+    agg.mean_ii /= agg.count;
+    return agg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto machine = machine::cydra5();
+
+    // Part 1: DSA/EVR corpus — the delay model barely matters.
+    workloads::CorpusSpec spec;
+    spec.perfectLoops = 400;
+    spec.specLoops = 120;
+    spec.lfkLoops = 27;
+    const auto corpus = workloads::buildCorpus(spec);
+    std::vector<ir::Loop> dsa_loops;
+    for (const auto& w : corpus)
+        dsa_loops.push_back(w.loop);
+
+    support::TextTable table("Ablation: Table 1 delay model");
+    table.addHeader({"Form", "Delay model", "Loops", "Mean MII",
+                     "Mean II"});
+    for (const auto mode :
+         {graph::DelayMode::kExact, graph::DelayMode::kConservative}) {
+        const auto agg = run(dsa_loops, machine, mode, true);
+        table.addRow({"DSA/EVR (paper)",
+                      mode == graph::DelayMode::kExact
+                          ? "exact (VLIW)"
+                          : "conservative (superscalar)",
+                      std::to_string(agg.count),
+                      support::formatDouble(agg.mean_mii, 3),
+                      support::formatDouble(agg.mean_ii, 3)});
+    }
+
+    // Part 2: single-register form on raw (distance<=1) loops.
+    const auto raw = rawLoops();
+    for (const bool dsa : {true, false}) {
+        for (const auto mode :
+             {graph::DelayMode::kExact, graph::DelayMode::kConservative}) {
+            const auto agg = run(raw, machine, mode, dsa);
+            table.addRow({dsa ? "raw loops, DSA/EVR"
+                              : "raw loops, single-register",
+                          mode == graph::DelayMode::kExact
+                              ? "exact (VLIW)"
+                              : "conservative (superscalar)",
+                          std::to_string(agg.count),
+                          support::formatDouble(agg.mean_mii, 3),
+                          support::formatDouble(agg.mean_ii, 3)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpected shape: on DSA/EVR code the two delay models are "
+           "nearly indistinguishable\n(anti/output dependences only arise "
+           "through memory). On single-register code the\nregister anti- "
+           "and output dependences come back; the conservative model's "
+           "clamped\n(non-negative) delays tighten recurrences further "
+           "and raise the MII — the reason §2.2\nassumes anti/output "
+           "dependences are eliminated by EVRs / dynamic single "
+           "assignment\nbefore scheduling.\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: the load-store elimination preprocessing step of §1
+ * ("memory reference data flow analysis ... can improve the schedule if
+ * either a load is on a critical path or if the memory ports are the
+ * critical resources"). Memory-carried recurrences from the kernel
+ * library and the corpus are scheduled before and after forwarding.
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "transform/load_store_elim.hpp"
+
+int
+main()
+{
+    using namespace ims;
+    using namespace ims::bench;
+
+    const auto machine = machine::cydra5();
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 6.0;
+
+    support::TextTable table(
+        "load-store elimination: critical-path loads removed");
+    table.addHeader({"Loop", "Loads removed", "MII before", "MII after",
+                     "II before", "II after", "Speedup gain"});
+
+    auto run = [&](const ir::Loop& loop) {
+        const auto g = graph::buildDepGraph(loop, machine);
+        const auto sccs = graph::findSccs(g);
+        return sched::moduloSchedule(loop, machine, g, sccs, options);
+    };
+
+    for (const char* name : {"mem_recurrence", "daxpy", "vec_copy"}) {
+        const auto w = workloads::kernelByName(name);
+        const auto forwarded =
+            transform::eliminateRedundantLoads(w.loop);
+        const auto before = run(w.loop);
+        const auto after = run(forwarded.loop);
+        table.addRow(
+            {name, std::to_string(forwarded.eliminatedLoads),
+             std::to_string(before.mii), std::to_string(after.mii),
+             std::to_string(before.schedule.ii),
+             std::to_string(after.schedule.ii),
+             support::formatDouble(
+                 static_cast<double>(before.schedule.ii) /
+                     after.schedule.ii,
+                 2) +
+                 "x"});
+    }
+    table.print(std::cout);
+
+    // Corpus-wide effect: how many generated loops contain forwardable
+    // memory recurrences, and what it does to the mean II.
+    workloads::CorpusSpec spec;
+    spec.perfectLoops = 400;
+    spec.specLoops = 120;
+    spec.lfkLoops = 27;
+    const auto corpus = workloads::buildCorpus(spec);
+    int touched = 0;
+    long long removed = 0;
+    double ii_before = 0.0, ii_after = 0.0;
+    for (const auto& w : corpus) {
+        const auto forwarded =
+            transform::eliminateRedundantLoads(w.loop);
+        if (forwarded.eliminatedLoads == 0)
+            continue;
+        ++touched;
+        removed += forwarded.eliminatedLoads;
+        ii_before += run(w.loop).schedule.ii;
+        ii_after += run(forwarded.loop).schedule.ii;
+    }
+    std::cout << "\nCorpus (" << corpus.size() << " loops): " << touched
+              << " loops had forwardable loads (" << removed
+              << " loads removed); mean II on those loops "
+              << support::formatDouble(ii_before / std::max(1, touched),
+                                       2)
+              << " -> "
+              << support::formatDouble(ii_after / std::max(1, touched), 2)
+              << "\n";
+    std::cout << "\nExpected shape: memory-carried recurrences lose the "
+                 "20-cycle load from their critical\ncircuit (RecMII "
+                 "collapses); pure streaming loops are untouched (their "
+                 "loads read arrays no\nstore writes, or cells no store "
+                 "reaches).\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: machine model. The same kernel library scheduled for the
+ * Cydra-5-like machine (complex shared-bus reservation tables), the
+ * clean64 machine (same units, simple private-bus tables) and a wide
+ * VLIW, showing how table complexity and resources shape MII/II and the
+ * scheduler's effort — the paper's point that block/complex tables are
+ * what make iterative (backtracking) scheduling necessary.
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "machine/machines.hpp"
+
+int
+main()
+{
+    using namespace ims;
+    using namespace ims::bench;
+
+    const auto corpus = workloads::kernelLibrary();
+    const machine::MachineModel machines[] = {
+        machine::cydra5(), machine::clean64(), machine::wideVliw()};
+
+    support::TextTable table("Ablation: machine models over the kernel "
+                             "library");
+    std::vector<std::string> header = {"Kernel"};
+    for (const auto& m : machines) {
+        header.push_back(m.name() + " II");
+        header.push_back(m.name() + " SL");
+    }
+    table.addHeader(header);
+
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 6.0;
+
+    for (const auto& w : corpus) {
+        std::vector<std::string> row = {w.loop.name()};
+        for (const auto& m : machines) {
+            const auto record = measureLoop(w, m, options);
+            row.push_back(std::to_string(record.ii));
+            row.push_back(std::to_string(record.scheduleLength));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    // Aggregate effort comparison.
+    support::TextTable agg("scheduling effort by machine (whole corpus "
+                           "subset)");
+    agg.addHeader({"Machine", "Loops at MII (%)", "Steps/op",
+                   "Unschedules/op"});
+    workloads::CorpusSpec spec;
+    spec.perfectLoops = 300;
+    spec.specLoops = 100;
+    spec.lfkLoops = 27;
+    const auto big = workloads::buildCorpus(spec);
+    for (const auto& m : machines) {
+        const auto records = measureCorpus(big, m, options);
+        int at_mii = 0;
+        long long steps = 0, ops = 0, unschedules = 0;
+        for (const auto& r : records) {
+            at_mii += r.ii == r.mii;
+            steps += r.stepsTotal;
+            ops += r.ddgOps;
+            unschedules += r.unschedules;
+        }
+        agg.addRow({m.name(),
+                    support::formatDouble(
+                        100.0 * at_mii / records.size(), 1),
+                    support::formatDouble(
+                        static_cast<double>(steps) / ops, 2),
+                    support::formatDouble(
+                        static_cast<double>(unschedules) / ops, 2)});
+    }
+    agg.print(std::cout);
+
+    std::cout << "\nExpected shape: the wide VLIW reaches smaller IIs; "
+                 "clean64's simple tables need fewer\ndisplacements than "
+                 "cydra5's shared-bus complex tables for the same unit "
+                 "mix.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: the scheduling priority function. §3.2 of the paper settles
+ * on the height-based HeightR after "a number of iterative algorithms and
+ * priority functions were investigated"; this bench quantifies why, by
+ * running the corpus under HeightR, least-slack, source-order and random
+ * priorities and comparing optimality (II = MII rate), schedule quality
+ * and scheduling effort.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace ims;
+    using namespace ims::bench;
+
+    const auto machine = machine::cydra5();
+    // A subset of the corpus keeps the weak priorities' thrash affordable.
+    workloads::CorpusSpec spec;
+    spec.perfectLoops = 300;
+    spec.specLoops = 100;
+    spec.lfkLoops = 27;
+    const auto corpus = workloads::buildCorpus(spec);
+
+    support::TextTable table(
+        "Ablation: priority function (BudgetRatio 6, " +
+        std::to_string(corpus.size()) + " loops)");
+    table.addHeader({"Priority", "Loops at MII (%)", "Mean II/MII",
+                     "Mean steps/op", "Unschedules/op"});
+
+    for (const auto scheme :
+         {sched::PriorityScheme::kHeightR, sched::PriorityScheme::kSlack,
+          sched::PriorityScheme::kSourceOrder,
+          sched::PriorityScheme::kRandom}) {
+        sched::ModuloScheduleOptions options;
+        options.budgetRatio = 6.0;
+        options.inner.priority = scheme;
+        const auto records = measureCorpus(corpus, machine, options);
+
+        int at_mii = 0;
+        double ii_ratio = 0.0;
+        long long steps = 0, ops = 0, unschedules = 0;
+        for (const auto& r : records) {
+            at_mii += r.ii == r.mii;
+            ii_ratio += static_cast<double>(r.ii) / r.mii;
+            steps += r.stepsTotal;
+            ops += r.ddgOps;
+            unschedules += r.unschedules;
+        }
+        table.addRow({sched::prioritySchemeName(scheme),
+                      support::formatDouble(
+                          100.0 * at_mii / records.size(), 1),
+                      support::formatDouble(
+                          ii_ratio / records.size(), 4),
+                      support::formatDouble(
+                          static_cast<double>(steps) / ops, 2),
+                      support::formatDouble(
+                          static_cast<double>(unschedules) / ops, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpected shape: the informed priorities (HeightR — the "
+           "paper's choice — and least-slack,\nwhich anticipates Huff's "
+           "lifetime-sensitive scheduling [18]) are near-optimal; source "
+           "order\ndegrades on recurrence-bound loops; random causes an "
+           "order of magnitude more displacements.\nMean steps/op is "
+           "dominated by the few large-DeltaII loops whose failed "
+           "candidate IIs each\nexpend the whole budget — the paper's "
+           "own observation that raising BudgetRatio \"only means\nthat "
+           "more compile time is spent on attempts that are destined to "
+           "be unsuccessful\".\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: the RecMII algorithm. §2.2 describes two approaches — the
+ * Cydra 5 compiler's enumeration of all elementary circuits, and the
+ * minimal cost-to-time-ratio (MinDist) search used in this paper, which
+ * becomes practical when applied per strongly connected component. This
+ * bench verifies all three agree and compares their cost (MinDist
+ * inner-loop steps / circuits touched) over the corpus.
+ */
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "graph/circuits.hpp"
+#include "mii/rec_mii.hpp"
+
+int
+main()
+{
+    using namespace ims;
+    using namespace ims::bench;
+    using Clock = std::chrono::steady_clock;
+
+    const auto machine = machine::cydra5();
+    const auto corpus = workloads::buildCorpus();
+
+    long long per_scc_steps = 0, whole_graph_steps = 0;
+    double per_scc_ms = 0.0, whole_ms = 0.0, circuits_ms = 0.0;
+    long long circuits_total = 0;
+    int disagreements = 0;
+
+    for (const auto& w : corpus) {
+        const auto g = graph::buildDepGraph(w.loop, machine);
+        const auto sccs = graph::findSccs(g);
+
+        support::Counters c1, c2;
+        auto t0 = Clock::now();
+        const int per_scc = mii::computeRecMiiPerScc(g, sccs, 1, &c1);
+        auto t1 = Clock::now();
+        const int whole = mii::computeRecMiiWholeGraph(g, 1, &c2);
+        auto t2 = Clock::now();
+        const int by_circuits = mii::computeRecMiiFromCircuits(g);
+        auto t3 = Clock::now();
+        circuits_total += static_cast<long long>(
+            graph::enumerateElementaryCircuits(g).size());
+
+        per_scc_steps += static_cast<long long>(c1.minDistInnerSteps);
+        whole_graph_steps += static_cast<long long>(c2.minDistInnerSteps);
+        per_scc_ms += std::chrono::duration<double, std::milli>(t1 - t0)
+                          .count();
+        whole_ms += std::chrono::duration<double, std::milli>(t2 - t1)
+                        .count();
+        circuits_ms += std::chrono::duration<double, std::milli>(t3 - t2)
+                           .count();
+        disagreements += (per_scc != whole) + (per_scc != by_circuits);
+    }
+
+    support::TextTable table("Ablation: RecMII algorithm (" +
+                             std::to_string(corpus.size()) + " loops)");
+    table.addHeader({"Algorithm", "MinDist inner steps", "Wall time (ms)",
+                     "Notes"});
+    table.addRow({"per-SCC MinDist (the paper's)",
+                  std::to_string(per_scc_steps),
+                  support::formatDouble(per_scc_ms, 1),
+                  "search seeded SCC-to-SCC"});
+    table.addRow({"whole-graph MinDist", std::to_string(whole_graph_steps),
+                  support::formatDouble(whole_ms, 1),
+                  "O(N^3) on the full graph per candidate II"});
+    table.addRow({"elementary circuits (Cydra 5)", "-",
+                  support::formatDouble(circuits_ms, 1),
+                  std::to_string(circuits_total) + " circuits touched"});
+    table.print(std::cout);
+
+    std::cout << "\nAll three algorithms agreed on every loop: "
+              << (disagreements == 0 ? "yes" : "NO (bug!)") << "\n";
+    std::cout << "Expected shape: per-SCC MinDist needs a small fraction "
+                 "of the whole-graph inner steps\n(§2.2: \"there are very "
+                 "few SCCs that are large, and O(N^3) is quite a bit more "
+                 "tolerable for\nthe small values of N encountered\"); "
+                 "circuit enumeration is fast here but is worst-case\n"
+                 "exponential in pathological dependence graphs.\n";
+    return disagreements == 0 ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablation: modulo scheduling vs "unroll-before-scheduling" (§1, §4.3,
+ * §5). An unroll-before-scheduling scheme unrolls the loop k times and
+ * applies acyclic list scheduling to the unrolled body, keeping a
+ * scheduling barrier at the back-edge: its per-iteration cost is
+ * SL(unrolled)/k, which approaches but cannot beat the modulo II, and
+ * its code size grows linearly with k ("typically unroll the loop body
+ * many tens of times"). The second table shows the legitimate use of the
+ * same transform the paper *does* endorse: unrolling before *modulo*
+ * scheduling to recover fractional MIIs (§2).
+ */
+#include <iostream>
+
+#include "codegen/code_generator.hpp"
+#include "common.hpp"
+#include "transform/unroll.hpp"
+
+namespace {
+
+using namespace ims;
+using namespace ims::bench;
+
+} // namespace
+
+int
+main()
+{
+    const auto machine = machine::cydra5();
+    const int factors[] = {1, 2, 4, 8, 16, 32};
+
+    const char* kernels[] = {"daxpy", "hydro_frag", "stencil3",
+                             "dot_bs4", "state_frag", "multi_array"};
+
+    support::TextTable table(
+        "unroll-before-scheduling (list) vs modulo scheduling: "
+        "per-original-iteration cost in cycles");
+    std::vector<std::string> header = {"Kernel", "modulo II"};
+    for (int f : factors)
+        header.push_back("unroll x" + std::to_string(f));
+    header.push_back("code x32 / modulo code");
+    table.addHeader(header);
+
+    for (const char* name : kernels) {
+        const auto w = workloads::kernelByName(name);
+        sched::ModuloScheduleOptions options;
+        options.budgetRatio = 6.0;
+        const auto record = measureLoop(w, machine, options);
+
+        std::vector<std::string> row = {name,
+                                        std::to_string(record.ii)};
+        double unrolled_code_cycles = 0;
+        for (int f : factors) {
+            const auto unrolled = transform::unrollLoop(w.loop, f);
+            const auto g = graph::buildDepGraph(unrolled, machine);
+            const auto list = sched::listSchedule(unrolled, machine, g);
+            row.push_back(support::formatDouble(
+                static_cast<double>(list.scheduleLength) / f, 2));
+            if (f == 32)
+                unrolled_code_cycles = list.scheduleLength;
+        }
+        // Modulo code size: prologue + kernel(s) + epilogue cycles.
+        const auto g = graph::buildDepGraph(w.loop, machine);
+        const auto sccs = graph::findSccs(g);
+        const auto outcome =
+            sched::moduloSchedule(w.loop, machine, g, sccs, options);
+        const auto code =
+            codegen::generateCode(w.loop, machine, outcome.schedule);
+        const double modulo_code =
+            code.prologue.numCycles() +
+            code.kernelSection.numCycles() * code.mve.unroll +
+            code.epilogue.numCycles();
+        row.push_back(support::formatDouble(
+            unrolled_code_cycles / modulo_code, 2));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpected shape: the unrolled list schedule's per-iteration "
+           "cost approaches the modulo II\nfrom above as k grows but "
+           "never beats it (the back-edge barrier drains the pipeline "
+           "every\nk iterations), while its code size keeps growing — "
+           "the paper's argument that an unrolling\nscheme competitive "
+           "with iterative modulo scheduling would need enormous "
+           "replication.\n";
+
+    // Part 2: unrolling before MODULO scheduling to recover fractional
+    // MIIs (§2: round-up degradation).
+    support::TextTable frac(
+        "unroll-before-MODULO-scheduling: fractional-MII recovery");
+    frac.addHeader({"Kernel", "ResMII x1", "II x1", "II x2 (per iter)",
+                    "II x4 (per iter)"});
+    for (const char* name : {"dual_store", "daxpy", "vec_scale"}) {
+        const auto w = workloads::kernelByName(name);
+        std::vector<std::string> row = {name};
+        {
+            sched::ModuloScheduleOptions options;
+            options.budgetRatio = 6.0;
+            const auto record = measureLoop(w, machine, options);
+            row.push_back(std::to_string(record.resMii));
+            row.push_back(std::to_string(record.ii));
+        }
+        for (int f : {2, 4}) {
+            const auto unrolled = transform::unrollLoop(w.loop, f);
+            sched::ModuloScheduleOptions options;
+            options.budgetRatio = 6.0;
+            const auto g = graph::buildDepGraph(unrolled, machine);
+            const auto sccs = graph::findSccs(g);
+            const auto outcome = sched::moduloSchedule(unrolled, machine,
+                                                       g, sccs, options);
+            row.push_back(support::formatDouble(
+                static_cast<double>(outcome.schedule.ii) / f, 2));
+        }
+        frac.addRow(row);
+    }
+    frac.print(std::cout);
+    std::cout << "\n(dual_store: 3 memory references over 2 ports is a "
+                 "rational ResMII of 1.5; unrolling by 2\nrecovers it "
+                 "from the rounded-up II of 2 — §2's reason to unroll "
+                 "before modulo scheduling.\ndaxpy stays at 2.00: its "
+                 "shared source buses impose an integral bound of 2 per "
+                 "iteration.)\n";
+    return 0;
+}

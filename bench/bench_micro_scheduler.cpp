@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark micro-performance of the library's hot paths:
+ * dependence-graph construction, SCC identification, MinDist closure,
+ * HeightR, one IterativeSchedule attempt and the full ModuloSchedule
+ * driver, at several loop sizes. Complements bench_table4_complexity
+ * (operation counts) with wall-clock scaling.
+ */
+#include <benchmark/benchmark.h>
+
+#include "graph/graph_builder.hpp"
+#include "graph/scc.hpp"
+#include "machine/cydra5.hpp"
+#include "mii/mii.hpp"
+#include "mii/min_dist.hpp"
+#include "sched/height_r.hpp"
+#include "sched/modulo_scheduler.hpp"
+#include "support/rng.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace {
+
+using namespace ims;
+
+/** Deterministic loop of roughly `target` ops. */
+ir::Loop
+loopOfSize(int target)
+{
+    support::Rng rng(static_cast<std::uint64_t>(target) * 1299709 + 11);
+    workloads::GeneratorProfile profile;
+    // Force the streaming category and pin the size class distribution
+    // towards the requested size by resampling.
+    for (int tries = 0; tries < 400; ++tries) {
+        auto loop = workloads::generateLoop(rng, "micro", profile);
+        if (std::abs(loop.size() - target) <= target / 4)
+            return loop;
+    }
+    return workloads::generateLoop(rng, "micro", profile);
+}
+
+const machine::MachineModel&
+cydra()
+{
+    static const machine::MachineModel machine = machine::cydra5();
+    return machine;
+}
+
+void
+BM_BuildDepGraph(benchmark::State& state)
+{
+    const auto loop = loopOfSize(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto g = graph::buildDepGraph(loop, cydra());
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetLabel(std::to_string(loop.size()) + " ops");
+}
+
+void
+BM_FindSccs(benchmark::State& state)
+{
+    const auto loop = loopOfSize(static_cast<int>(state.range(0)));
+    const auto g = graph::buildDepGraph(loop, cydra());
+    for (auto _ : state) {
+        auto sccs = graph::findSccs(g);
+        benchmark::DoNotOptimize(sccs.numComponents());
+    }
+}
+
+void
+BM_MinDistFullGraph(benchmark::State& state)
+{
+    const auto loop = loopOfSize(static_cast<int>(state.range(0)));
+    const auto g = graph::buildDepGraph(loop, cydra());
+    for (auto _ : state) {
+        mii::MinDistMatrix dist(g, 4);
+        benchmark::DoNotOptimize(dist.maxDiagonal());
+    }
+}
+
+void
+BM_HeightR(benchmark::State& state)
+{
+    const auto loop = loopOfSize(static_cast<int>(state.range(0)));
+    const auto g = graph::buildDepGraph(loop, cydra());
+    const auto sccs = graph::findSccs(g);
+    const auto m = mii::computeMii(loop, cydra(), g, sccs);
+    for (auto _ : state) {
+        auto h = sched::computeHeightR(g, sccs, m.mii);
+        benchmark::DoNotOptimize(h.data());
+    }
+}
+
+void
+BM_ModuloSchedule(benchmark::State& state)
+{
+    const auto loop = loopOfSize(static_cast<int>(state.range(0)));
+    const auto g = graph::buildDepGraph(loop, cydra());
+    const auto sccs = graph::findSccs(g);
+    sched::ModuloScheduleOptions options;
+    for (auto _ : state) {
+        auto outcome =
+            sched::moduloSchedule(loop, cydra(), g, sccs, options);
+        benchmark::DoNotOptimize(outcome.schedule.ii);
+    }
+}
+
+void
+BM_FullPipelineOverKernels(benchmark::State& state)
+{
+    // End-to-end throughput across the whole kernel suite (loops/sec).
+    const auto corpus = workloads::kernelLibrary();
+    sched::ModuloScheduleOptions options;
+    for (auto _ : state) {
+        for (const auto& w : corpus) {
+            auto outcome = sched::moduloSchedule(w.loop, cydra(), options);
+            benchmark::DoNotOptimize(outcome.schedule.ii);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long long>(corpus.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_BuildDepGraph)->Arg(8)->Arg(24)->Arg(64)->Arg(150);
+BENCHMARK(BM_FindSccs)->Arg(8)->Arg(24)->Arg(64)->Arg(150);
+BENCHMARK(BM_MinDistFullGraph)->Arg(8)->Arg(24)->Arg(64)->Arg(150);
+BENCHMARK(BM_HeightR)->Arg(8)->Arg(24)->Arg(64)->Arg(150);
+BENCHMARK(BM_ModuloSchedule)->Arg(8)->Arg(24)->Arg(64)->Arg(150);
+BENCHMARK(BM_FullPipelineOverKernels);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates Table 4 of the paper: the worst-case and empirical
+ * computational complexity of each sub-activity of iterative modulo
+ * scheduling, with the least-mean-squares fits of §4.4:
+ *
+ *   E (edges)                ~ 3.0036 N
+ *   SCC identification       O(N + E) -> O(N)
+ *   ResMII calculation       O(N)
+ *   MII calculation          ~ 11.9133 N + 3.0474 (residual sigma 1842.7:
+ *                              "largely uncorrelated with N")
+ *   HeightR calculation      ~ 4.5021 N
+ *   Estart predecessors      ~ 3.3321 N
+ *   FindTimeSlot probes      ~ 0.0587 N^2 + 0.2001 N + 0.5000
+ *
+ * Counters are gathered per loop over the whole corpus at BudgetRatio 2
+ * and fitted against the loop size N.
+ */
+#include <iostream>
+
+#include "common.hpp"
+#include "support/regression.hpp"
+
+int
+main()
+{
+    using namespace ims;
+    using namespace ims::bench;
+
+    const auto machine = machine::cydra5();
+    const auto corpus = workloads::buildCorpus();
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 2.0;
+
+    const auto records = measureCorpus(corpus, machine, options);
+
+    std::vector<double> n;
+    std::vector<double> edges, scc, resmii, mindist, heightr, estart,
+        findslot, steps;
+    for (const auto& r : records) {
+        n.push_back(r.ops);
+        edges.push_back(r.edges);
+        scc.push_back(static_cast<double>(r.counters.sccEdgeVisits));
+        resmii.push_back(
+            static_cast<double>(r.counters.resMiiInspections));
+        mindist.push_back(
+            static_cast<double>(r.counters.minDistInnerSteps));
+        heightr.push_back(
+            static_cast<double>(r.counters.heightRInnerSteps));
+        estart.push_back(
+            static_cast<double>(r.counters.estartPredecessorVisits));
+        findslot.push_back(
+            static_cast<double>(r.counters.findTimeSlotProbes));
+        steps.push_back(static_cast<double>(r.counters.scheduleSteps));
+    }
+
+    const auto fit_e = support::fitProportional(n, edges);
+    const auto fit_scc = support::fitProportional(n, scc);
+    const auto fit_res = support::fitProportional(n, resmii);
+    const auto fit_mii = support::fitLinear(n, mindist);
+    const auto fit_height = support::fitProportional(n, heightr);
+    const auto fit_estart = support::fitProportional(n, estart);
+    const auto fit_slot = support::fitPolynomial(n, findslot, 2);
+    const auto fit_steps = support::fitProportional(n, steps);
+
+    support::TextTable table(
+        "Table 4: computational complexity of the sub-activities of "
+        "iterative modulo scheduling");
+    table.addHeader({"Activity", "Worst-case", "Empirical", "LMS fit",
+                     "Paper's fit"});
+    table.addRow({"Dependence edges E", "O(N^2)", "O(N)",
+                  fit_e.toString(), "3.0036N"});
+    table.addRow({"SCC identification", "O(N+E)", "O(N)",
+                  fit_scc.toString(), "O(N)"});
+    table.addRow({"ResMII calculation", "O(N)", "O(N)",
+                  fit_res.toString(), "O(N)"});
+    table.addRow({"MII calculation (MinDist inner loop)", "O(N^3)",
+                  "O(N)", fit_mii.toString(),
+                  "11.9133N + 3.0474"});
+    table.addRow({"HeightR calculation", "O(NE)", "O(N)",
+                  fit_height.toString(), "4.5021N"});
+    table.addRow({"Estart (predecessor visits)", "O(NE)", "O(N)",
+                  fit_estart.toString(), "3.3321N"});
+    table.addRow({"FindTimeSlot (slot probes)", "NP-complete*",
+                  "O(N^2)", fit_slot.toString(),
+                  "0.0587N^2 + 0.2001N + 0.5000"});
+    table.addRow({"Operation scheduling steps", "NP-complete*", "O(N)",
+                  fit_steps.toString(), "~1.59N at BR 2"});
+    table.print(std::cout);
+
+    std::cout << "(*iterative scheduling is NP-complete in the worst "
+                 "case; the budget bounds it in practice.)\n";
+    std::cout << "\nMinDist residual standard deviation: "
+              << support::formatDouble(fit_mii.residualStdDev, 1)
+              << " (paper: 1842.7 — larger than the prediction over the "
+                 "measured range,\n i.e. the MII cost is largely "
+                 "uncorrelated with N; driven by SCC structure instead)\n";
+    std::cout
+        << "\nConclusion (paper §4.4): no sub-activity exceeds O(N^2) "
+           "empirically, so the statistical\ncomplexity of iterative "
+           "modulo scheduling is O(N^2).\n";
+    return 0;
+}

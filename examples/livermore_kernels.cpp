@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pipeline the whole Livermore-style kernel library (the workloads the
+ * paper's introduction motivates: vectorizable streams, reductions,
+ * linear recurrences, IF-converted bodies, block-reservation stress) and
+ * print a one-line summary per kernel plus a deep-dive report for a
+ * recurrence-bound and a resource-bound kernel.
+ *
+ *   $ ./livermore_kernels [kernel-name]
+ */
+#include <iostream>
+
+#include "core/pipeliner.hpp"
+#include "core/report.hpp"
+#include "machine/cydra5.hpp"
+#include "workloads/kernels.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace ims;
+
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+
+    if (argc > 1) {
+        const auto w = workloads::kernelByName(argv[1]);
+        const auto artifacts = pipeliner.pipeline(w.loop);
+        std::cout << core::report(w.loop, machine, artifacts);
+        return 0;
+    }
+
+    std::cout << "Kernel library on " << machine.name() << ":\n\n";
+    for (const auto& w : workloads::kernelLibrary()) {
+        const auto artifacts = pipeliner.pipeline(w.loop);
+        std::cout << core::summaryLine(w.loop, artifacts) << "  ; "
+                  << w.description << "\n";
+    }
+
+    std::cout << "\n=== deep dive: recurrence-bound (tridiag, LFK 5) "
+                 "===\n\n";
+    {
+        const auto w = workloads::kernelByName("tridiag");
+        std::cout << core::report(w.loop, machine,
+                                  pipeliner.pipeline(w.loop));
+    }
+    std::cout << "\n=== deep dive: resource-bound (div_kernel, blocked "
+                 "multiplier) ===\n\n";
+    {
+        const auto w = workloads::kernelByName("div_kernel");
+        std::cout << core::report(w.loop, machine,
+                                  pipeliner.pipeline(w.loop));
+    }
+    std::cout << "\n(run with a kernel name for its full report, e.g. "
+                 "./livermore_kernels daxpy)\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Frontend demo: read a loop in the textual mini-IR format from a file
+ * (or stdin with "-"), pipeline it and print the report — the workflow
+ * for experimenting with your own loop bodies without writing C++.
+ *
+ *   $ ./parse_and_pipeline my_loop.ir
+ *   $ echo "loop t ..." | ./parse_and_pipeline -
+ *
+ * Run without arguments for a demo on a built-in IF-converted loop text.
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/pipeliner.hpp"
+#include "core/report.hpp"
+#include "ir/parser.hpp"
+#include "machine/cydra5.hpp"
+
+namespace {
+
+const char* kDemo = R"(; if (x[i] > 0) y[i] = sqrt(x[i]); else y[i] = 0
+loop guarded_sqrt
+recurrence ax
+ax = aadd ax[3], #24
+x  = load ax @ X 0
+p  = predset x, #0
+r  = sqrt x if p
+t  = select p, r, #0
+_  = store ax, t @ Y 0
+recurrence n
+n  = asub n[3], #3
+_  = branch n
+)";
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ims;
+
+    std::string text;
+    if (argc < 2) {
+        std::cout << "(no input file given; using the built-in demo "
+                     "loop)\n\n";
+        text = kDemo;
+    } else if (std::string(argv[1]) == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        text = buffer.str();
+    } else {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+
+    try {
+        const ir::Loop loop = ir::parseLoop(text);
+        const auto machine = machine::cydra5();
+        core::SoftwarePipeliner pipeliner(machine);
+        const auto artifacts = pipeliner.pipeline(loop);
+        std::cout << core::report(loop, machine, artifacts);
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure/ablation of EXPERIMENTS.md into results/.
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="results"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+mkdir -p "$RESULTS_DIR"
+for bench in "$BUILD_DIR"/bench/bench_*; do
+    [ -x "$bench" ] && [ -f "$bench" ] || continue
+    name="$(basename "$bench")"
+    echo "== $name =="
+    if [ "$name" = "bench_micro_scheduler" ]; then
+        "$bench" --benchmark_min_time=0.1 | tee "$RESULTS_DIR/$name.txt"
+    else
+        "$bench" | tee "$RESULTS_DIR/$name.txt"
+    fi
+done
+
+echo
+echo "All outputs saved under $RESULTS_DIR/."

@@ -1,0 +1,26 @@
+#ifndef IMS_CODEGEN_EMIT_HPP
+#define IMS_CODEGEN_EMIT_HPP
+
+#include <string>
+
+#include "codegen/code_generator.hpp"
+#include "codegen/register_allocator.hpp"
+
+namespace ims::codegen {
+
+/**
+ * Render the full pipelined code (prologue, kernel — replicated
+ * `mve.unroll` times with modulo register renaming — and epilogue) as a
+ * human-readable assembly-style listing. Register operands are printed
+ * with their physical names from `allocation`; each line shows the cycle
+ * within its section and each op instance its source-iteration tag.
+ */
+std::string emitListing(const ir::Loop& loop, const GeneratedCode& code,
+                        const RegisterAllocation& allocation);
+
+/** Render only the kernel rows with stage annotations (compact form). */
+std::string emitKernel(const ir::Loop& loop, const GeneratedCode& code);
+
+} // namespace ims::codegen
+
+#endif // IMS_CODEGEN_EMIT_HPP

@@ -1,0 +1,45 @@
+#include "codegen/kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ims::codegen {
+
+std::vector<KernelPlacement>
+Kernel::rowOf(int slot) const
+{
+    std::vector<KernelPlacement> row;
+    for (const auto& placement : placements) {
+        if (placement.slot == slot)
+            row.push_back(placement);
+    }
+    std::sort(row.begin(), row.end(),
+              [](const KernelPlacement& a, const KernelPlacement& b) {
+                  return a.stage != b.stage ? a.stage < b.stage
+                                            : a.op < b.op;
+              });
+    return row;
+}
+
+Kernel
+buildKernel(const ir::Loop& loop, const sched::ScheduleResult& schedule)
+{
+    assert(loop.size() == static_cast<int>(schedule.times.size()));
+    Kernel kernel;
+    kernel.ii = schedule.ii;
+    kernel.placements.reserve(loop.size());
+    int max_stage = 0;
+    for (int op = 0; op < loop.size(); ++op) {
+        KernelPlacement placement;
+        placement.op = op;
+        placement.stage = schedule.times[op] / schedule.ii;
+        placement.slot = schedule.times[op] % schedule.ii;
+        placement.alternative = schedule.alternatives[op];
+        max_stage = std::max(max_stage, placement.stage);
+        kernel.placements.push_back(placement);
+    }
+    kernel.stageCount = max_stage + 1;
+    return kernel;
+}
+
+} // namespace ims::codegen

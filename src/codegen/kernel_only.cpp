@@ -1,0 +1,45 @@
+#include "codegen/kernel_only.hpp"
+
+#include <sstream>
+
+namespace ims::codegen {
+
+KernelOnlyCode
+generateKernelOnly(const ir::Loop& loop,
+                   const sched::ScheduleResult& schedule)
+{
+    const Kernel kernel = buildKernel(loop, schedule);
+    KernelOnlyCode code;
+    code.ii = kernel.ii;
+    code.stageCount = kernel.stageCount;
+    code.cycles.assign(kernel.ii, {});
+    for (const auto& placement : kernel.placements)
+        code.cycles[placement.slot].push_back(placement);
+    return code;
+}
+
+std::string
+emitKernelOnly(const ir::Loop& loop, const KernelOnlyCode& code)
+{
+    std::ostringstream out;
+    out << "; kernel-only schema [36]: II=" << code.ii << ", "
+        << code.stageCount << " stage predicates, code size " << code.ii
+        << " instruction(s)\n";
+    for (int cycle = 0; cycle < code.ii; ++cycle) {
+        out << "  " << cycle << ":";
+        bool first = true;
+        for (const auto& placement : code.cycles[cycle]) {
+            out << (first ? "  " : " || ")
+                << loop.operationToString(loop.operation(placement.op))
+                << " if sp[" << placement.stage << "]";
+            first = false;
+        }
+        if (first)
+            out << "  (nop)";
+        out << "\n";
+    }
+    out << "  brtop 0\n";
+    return out.str();
+}
+
+} // namespace ims::codegen

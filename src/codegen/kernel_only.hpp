@@ -1,0 +1,53 @@
+#ifndef IMS_CODEGEN_KERNEL_ONLY_HPP
+#define IMS_CODEGEN_KERNEL_ONLY_HPP
+
+#include <string>
+#include <vector>
+
+#include "codegen/kernel.hpp"
+#include "ir/loop.hpp"
+
+namespace ims::codegen {
+
+/**
+ * Kernel-only code for hardware with rotating registers and predicated
+ * execution — the code-generation schema of Rau/Schlansker/Tirumalai
+ * [36] that §1 invokes for "no code expansion whatsoever". The kernel's
+ * II cycles are the entire loop body: every operation is guarded by the
+ * stage predicate of its stage, and the pipeline ramps up and down as
+ * the hardware turns stage predicates on (one per II, while iterations
+ * remain) and off (draining). The loop executes trip + stageCount - 1
+ * kernel repetitions in total.
+ */
+struct KernelOnlyCode
+{
+    int ii = 1;
+    int stageCount = 1;
+    /** Row r holds the placements issuing at kernel cycle r. */
+    std::vector<std::vector<KernelPlacement>> cycles;
+
+    /** Static code size in VLIW instructions: just the II. */
+    int codeCycles() const { return ii; }
+
+    /** Kernel repetitions needed for `trip` iterations. */
+    int
+    repetitions(int trip) const
+    {
+        return trip + stageCount - 1;
+    }
+};
+
+/** Build the kernel-only structure from a schedule. */
+KernelOnlyCode generateKernelOnly(const ir::Loop& loop,
+                                  const sched::ScheduleResult& schedule);
+
+/**
+ * Render as an assembly-style listing with stage-predicate guards
+ * ("... if sp[2]") on every operation.
+ */
+std::string emitKernelOnly(const ir::Loop& loop,
+                           const KernelOnlyCode& code);
+
+} // namespace ims::codegen
+
+#endif // IMS_CODEGEN_KERNEL_ONLY_HPP

@@ -1,0 +1,65 @@
+#include "codegen/lifetimes.hpp"
+
+#include <algorithm>
+
+namespace ims::codegen {
+
+LifetimeAnalysis
+analyzeLifetimes(const ir::Loop& loop, const machine::MachineModel& machine,
+                 const sched::ScheduleResult& schedule)
+{
+    LifetimeAnalysis analysis;
+    const int ii = schedule.ii;
+
+    for (ir::RegId reg = 0; reg < loop.numRegisters(); ++reg) {
+        const ir::OpId def = loop.definingOp(reg);
+        if (def < 0)
+            continue; // pure live-in: allocated outside the loop
+        RegisterLifetime lifetime;
+        lifetime.reg = reg;
+        lifetime.def = def;
+        lifetime.defTime = schedule.times[def];
+        lifetime.endTime =
+            lifetime.defTime + machine.latency(loop.operation(def).opcode);
+
+        for (const auto& op : loop.operations()) {
+            auto consider = [&](const ir::Operand& src) {
+                if (!src.isRegister() || src.reg != reg)
+                    return;
+                const int use_end =
+                    schedule.times[op.id] + src.distance * ii + 1;
+                lifetime.endTime = std::max(lifetime.endTime, use_end);
+            };
+            for (const auto& src : op.sources)
+                consider(src);
+            if (op.guard)
+                consider(*op.guard);
+        }
+        analysis.lifetimes.push_back(lifetime);
+    }
+
+    analysis.kmin = 1;
+    for (const auto& lifetime : analysis.lifetimes) {
+        const int k = (lifetime.length() + ii - 1) / ii;
+        analysis.kmin = std::max(analysis.kmin, std::max(1, k));
+    }
+
+    // MaxLive: for each cycle c of the steady-state kernel, count how many
+    // copies of each value are live: copies(v, c) = #{k >= 0 :
+    // defTime <= c + k*II < endTime}.
+    analysis.maxLive = 0;
+    for (int c = 0; c < ii; ++c) {
+        int live = 0;
+        for (const auto& lifetime : analysis.lifetimes) {
+            // Count k with c + k*II in [defTime, endTime).
+            for (int t = c; t < lifetime.endTime; t += ii) {
+                if (t >= lifetime.defTime)
+                    ++live;
+            }
+        }
+        analysis.maxLive = std::max(analysis.maxLive, live);
+    }
+    return analysis;
+}
+
+} // namespace ims::codegen

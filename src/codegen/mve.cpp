@@ -1,0 +1,20 @@
+#include "codegen/mve.hpp"
+
+#include <algorithm>
+
+namespace ims::codegen {
+
+MvePlan
+planMve(const ir::Loop& loop, const LifetimeAnalysis& lifetimes, int ii)
+{
+    MvePlan plan;
+    plan.copies.assign(loop.numRegisters(), 0);
+    for (const auto& lifetime : lifetimes.lifetimes) {
+        const int k = std::max(1, (lifetime.length() + ii - 1) / ii);
+        plan.copies[lifetime.reg] = k;
+        plan.unroll = std::max(plan.unroll, k);
+    }
+    return plan;
+}
+
+} // namespace ims::codegen

@@ -1,0 +1,61 @@
+#include "codegen/register_allocator.hpp"
+
+#include <cassert>
+
+namespace ims::codegen {
+
+const RegisterAssignment&
+RegisterAllocation::of(ir::RegId reg) const
+{
+    for (const auto& assignment : assignments) {
+        if (assignment.reg == reg)
+            return assignment;
+    }
+    assert(false && "register has no assignment");
+    return assignments.front();
+}
+
+std::string
+RegisterAllocation::physicalName(ir::RegId reg, int iterations_back) const
+{
+    const RegisterAssignment& assignment = of(reg);
+    if (!assignment.rotating)
+        return "sr" + std::to_string(assignment.base);
+    const int index = iterations_back % assignment.copies;
+    return "rr" + std::to_string(assignment.base) + "[" +
+           std::to_string(index) + "]";
+}
+
+RegisterAllocation
+allocateRegisters(const ir::Loop& loop, const LifetimeAnalysis& lifetimes,
+                  const MvePlan& mve)
+{
+    RegisterAllocation allocation;
+    int next_rotating = 0;
+    int next_static = 0;
+
+    for (ir::RegId reg = 0; reg < loop.numRegisters(); ++reg) {
+        RegisterAssignment assignment;
+        assignment.reg = reg;
+        if (loop.definingOp(reg) < 0) {
+            // Pure live-in: one static register.
+            assignment.base = next_static++;
+            assignment.copies = 1;
+            assignment.rotating = false;
+        } else {
+            const int copies =
+                mve.copies[reg] > 0 ? mve.copies[reg] : 1;
+            assignment.base = next_rotating;
+            assignment.copies = copies;
+            assignment.rotating = true;
+            next_rotating += copies;
+        }
+        allocation.assignments.push_back(assignment);
+    }
+    (void)lifetimes;
+    allocation.rotatingRegisters = next_rotating;
+    allocation.staticRegisters = next_static;
+    return allocation;
+}
+
+} // namespace ims::codegen

@@ -1,0 +1,68 @@
+#include "core/pipeliner.hpp"
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+#include "mii/min_dist.hpp"
+#include "sched/verifier.hpp"
+#include "support/error.hpp"
+
+namespace ims::core {
+
+SoftwarePipeliner::SoftwarePipeliner(machine::MachineModel machine,
+                                     PipelinerOptions options)
+    : machine_(std::move(machine)), options_(std::move(options))
+{
+}
+
+PipelineArtifacts
+SoftwarePipeliner::pipeline(const ir::Loop& loop,
+                            support::Counters* counters) const
+{
+    graph::DepGraph dep_graph =
+        graph::buildDepGraph(loop, machine_, options_.graph);
+    const graph::SccResult sccs = graph::findSccs(dep_graph);
+
+    sched::ModuloScheduleOutcome outcome =
+        sched::moduloSchedule(loop, machine_, dep_graph, sccs,
+                              options_.schedule, counters);
+
+    if (options_.verify) {
+        const auto violations =
+            sched::verifySchedule(loop, machine_, dep_graph,
+                                  outcome.schedule);
+        if (!violations.empty()) {
+            throw support::Error("schedule verification failed for '" +
+                                 loop.name() + "': " + violations.front());
+        }
+    }
+
+    sched::ListScheduleResult list_schedule =
+        sched::listSchedule(loop, machine_, dep_graph, counters);
+
+    const mii::MinDistMatrix dist(dep_graph, outcome.schedule.ii, counters);
+    const int critical_path = static_cast<int>(
+        dist.atVertex(dep_graph.start(), dep_graph.stop()));
+
+    PipelineArtifacts artifacts{
+        std::move(dep_graph),
+        std::move(outcome),
+        std::move(list_schedule),
+        0,
+        {},
+        {},
+        {},
+    };
+    artifacts.minScheduleLength =
+        std::max(critical_path, artifacts.listSchedule.scheduleLength);
+    artifacts.code =
+        codegen::generateCode(loop, machine_, artifacts.outcome.schedule);
+    artifacts.lifetimes =
+        codegen::analyzeLifetimes(loop, machine_,
+                                  artifacts.outcome.schedule);
+    artifacts.registers = codegen::allocateRegisters(
+        loop, artifacts.lifetimes, artifacts.code.mve);
+    return artifacts;
+}
+
+} // namespace ims::core

@@ -1,0 +1,83 @@
+#ifndef IMS_CORE_PIPELINER_HPP
+#define IMS_CORE_PIPELINER_HPP
+
+#include <memory>
+#include <string>
+
+#include "codegen/code_generator.hpp"
+#include "codegen/register_allocator.hpp"
+#include "graph/graph_builder.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/modulo_scheduler.hpp"
+#include "support/counters.hpp"
+
+namespace ims::core {
+
+/** Options for the end-to-end pipeline. */
+struct PipelinerOptions
+{
+    graph::GraphOptions graph;
+    sched::ModuloScheduleOptions schedule;
+    /** Verify every schedule with the independent checker (cheap). */
+    bool verify = true;
+};
+
+/** Everything produced by pipelining one loop. */
+struct PipelineArtifacts
+{
+    /** The dependence graph the schedule was built against. */
+    graph::DepGraph depGraph;
+    /** Scheduling outcome: the schedule plus MII/attempt statistics. */
+    sched::ModuloScheduleOutcome outcome;
+    /** Baseline acyclic list schedule of one iteration. */
+    sched::ListScheduleResult listSchedule;
+    /** Lower bound on the modulo schedule length at the achieved II
+     *  (max of MinDist[START,STOP] and the list schedule length). */
+    int minScheduleLength = 0;
+    /** Kernel/prologue/epilogue structure with the MVE plan. */
+    codegen::GeneratedCode code;
+    /** Value lifetimes under the schedule. */
+    codegen::LifetimeAnalysis lifetimes;
+    /** Rotating/static register assignment. */
+    codegen::RegisterAllocation registers;
+};
+
+/**
+ * One-call public API: modulo-schedule a loop for a machine and derive all
+ * downstream artifacts (kernel structure, MVE, register allocation,
+ * baseline comparison). This is the facade the examples and benches use.
+ *
+ * @code
+ *   auto machine = ims::machine::cydra5();
+ *   ims::core::SoftwarePipeliner pipeliner(machine);
+ *   auto artifacts = pipeliner.pipeline(loop);
+ *   std::cout << ims::core::report(loop, machine, artifacts);
+ * @endcode
+ */
+class SoftwarePipeliner
+{
+  public:
+    explicit SoftwarePipeliner(machine::MachineModel machine,
+                               PipelinerOptions options = {});
+
+    const machine::MachineModel& machine() const { return machine_; }
+    const PipelinerOptions& options() const { return options_; }
+
+    /**
+     * Pipeline `loop`. @throws support::Error on invalid input or (with
+     * options.verify) if the produced schedule fails verification — the
+     * latter would be a library bug, surfaced loudly.
+     */
+    PipelineArtifacts pipeline(const ir::Loop& loop,
+                               support::Counters* counters = nullptr) const;
+
+  private:
+    machine::MachineModel machine_;
+    PipelinerOptions options_;
+};
+
+} // namespace ims::core
+
+#endif // IMS_CORE_PIPELINER_HPP

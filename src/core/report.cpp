@@ -1,0 +1,70 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "codegen/emit.hpp"
+
+namespace ims::core {
+
+std::string
+report(const ir::Loop& loop, const machine::MachineModel& machine,
+       const PipelineArtifacts& artifacts)
+{
+    std::ostringstream out;
+    const auto& schedule = artifacts.outcome.schedule;
+
+    out << loop.toString() << "\n";
+    out << "machine: " << machine.name() << "\n";
+    out << "ResMII = " << artifacts.outcome.resMii
+        << ", MII = " << artifacts.outcome.mii << ", achieved II = "
+        << schedule.ii << " (DeltaII = "
+        << schedule.ii - artifacts.outcome.mii << ", " <<
+        artifacts.outcome.attempts << " candidate II"
+        << (artifacts.outcome.attempts == 1 ? "" : "s") << " tried)\n";
+    out << "schedule length = " << schedule.scheduleLength
+        << " (lower bound " << artifacts.minScheduleLength
+        << "), acyclic list SL = "
+        << artifacts.listSchedule.scheduleLength << "\n";
+    out << "scheduling steps = " << schedule.stepsUsed << " for "
+        << loop.size() << " ops (+2 pseudo), unschedules = "
+        << schedule.unschedules << "\n";
+    out << "stages = " << artifacts.code.kernel.stageCount
+        << ", MVE unroll = " << artifacts.code.mve.unroll
+        << ", rotating regs = " << artifacts.registers.rotatingRegisters
+        << ", static regs = " << artifacts.registers.staticRegisters
+        << ", MaxLive = " << artifacts.lifetimes.maxLive << "\n";
+    out << "code expansion (prologue+kernel+epilogue vs one iteration) = "
+        << std::fixed << std::setprecision(2)
+        << artifacts.code.codeExpansionRatio(schedule.scheduleLength)
+        << "x\n\n";
+    out << codegen::emitKernel(loop, artifacts.code);
+
+    // Speedup model at large trip counts: list SL per iteration vs II.
+    const double speedup =
+        static_cast<double>(artifacts.listSchedule.scheduleLength) /
+        schedule.ii;
+    out << "\nasymptotic speedup over non-pipelined execution: "
+        << std::fixed << std::setprecision(2) << speedup << "x\n";
+    return out.str();
+}
+
+std::string
+summaryLine(const ir::Loop& loop, const PipelineArtifacts& artifacts)
+{
+    const auto& schedule = artifacts.outcome.schedule;
+    std::ostringstream out;
+    out << std::left << std::setw(20) << loop.name() << " ops="
+        << std::setw(4) << loop.size() << " MII=" << std::setw(4)
+        << artifacts.outcome.mii << " II=" << std::setw(4) << schedule.ii
+        << " SL=" << std::setw(4) << schedule.scheduleLength << " stages="
+        << std::setw(3) << artifacts.code.kernel.stageCount << " unroll="
+        << std::setw(2) << artifacts.code.mve.unroll << " speedup="
+        << std::fixed << std::setprecision(2)
+        << static_cast<double>(artifacts.listSchedule.scheduleLength) /
+               schedule.ii
+        << "x";
+    return out.str();
+}
+
+} // namespace ims::core

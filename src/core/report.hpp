@@ -1,0 +1,26 @@
+#ifndef IMS_CORE_REPORT_HPP
+#define IMS_CORE_REPORT_HPP
+
+#include <string>
+
+#include "core/pipeliner.hpp"
+
+namespace ims::core {
+
+/**
+ * Human-readable summary of a pipelining run: loop listing, MII breakdown,
+ * achieved II and schedule length against their lower bounds, kernel rows,
+ * MVE / register usage, and expected speedup over the non-pipelined
+ * (acyclic list) schedule.
+ */
+std::string report(const ir::Loop& loop,
+                   const machine::MachineModel& machine,
+                   const PipelineArtifacts& artifacts);
+
+/** One-line summary (for tables of many loops). */
+std::string summaryLine(const ir::Loop& loop,
+                        const PipelineArtifacts& artifacts);
+
+} // namespace ims::core
+
+#endif // IMS_CORE_REPORT_HPP

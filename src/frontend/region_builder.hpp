@@ -1,0 +1,143 @@
+#ifndef IMS_FRONTEND_REGION_BUILDER_HPP
+#define IMS_FRONTEND_REGION_BUILDER_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "ir/loop_builder.hpp"
+
+namespace ims::frontend {
+
+/**
+ * IF-conversion frontend: write a loop body with structured control flow
+ * (nested if/then/else hammocks, source-style variable assignment) and
+ * lower it to the single predicated basic block the modulo scheduler
+ * consumes — the paper's step "the selected region is IF-converted, with
+ * the result that all branches except for the loop-closing branch
+ * disappear ... the region now looks like a single basic block" (§1,
+ * citing Allen et al. and Park/Schlansker).
+ *
+ * Lowering strategy:
+ *  - arithmetic and loads execute speculatively (unguarded) on both
+ *    paths — the paper's "control dependences may be selectively ignored
+ *    thereby enabling speculative code motion";
+ *  - stores are never speculated: each is guarded by a predicate
+ *    materialised (predset) from its path condition;
+ *  - path conditions nest by multiplying 0/1 condition values, so
+ *    arbitrarily nested hammocks need no predicate-AND operation;
+ *  - values assigned under control flow are merged at the join with a
+ *    select on the branch condition (the IF-conversion φ);
+ *  - variables are versioned source-style: reading an unassigned
+ *    recurrence variable yields the previous iteration's final value,
+ *    and finish() closes each assigned recurrence with a copy into its
+ *    canonical register (costing one copy latency on such circuits).
+ *
+ * Example — `if (x[i] > 0) { y[i] = sqrt(x[i]); s += x[i]; }`:
+ * @code
+ *   RegionBuilder r("sum_positive_roots");
+ *   r.recurrence("s");
+ *   r.recurrence("ax");
+ *   r.assign(ir::Opcode::kAddrAdd, "ax", {r.use("ax", 3), r.imm(24)});
+ *   r.load("x", "X", 0, r.use("ax"));
+ *   r.beginIf(r.use("x"));                    // then-path: x > 0
+ *     r.assign(ir::Opcode::kSqrt, "rt", {r.use("x")});
+ *     r.store("Y", 0, r.use("ax"), r.use("rt"));
+ *     r.assign(ir::Opcode::kAdd, "s", {r.use("s"), r.use("x")});
+ *   r.endIf();                                // implicit: else keeps s
+ *   ir::Loop loop = r.finish();
+ * @endcode
+ */
+class RegionBuilder
+{
+  public:
+    explicit RegionBuilder(std::string name);
+
+    /** Declare a live-in invariant. */
+    RegionBuilder& liveIn(const std::string& name);
+
+    /** Declare a loop-carried variable (live-in seed + carried value). */
+    RegionBuilder& recurrence(const std::string& name);
+
+    /**
+     * Read variable `name`. Distance 0 reads the current version (for an
+     * unassigned recurrence variable: the previous iteration's value);
+     * distance d > 0 reads the final value from d iterations back
+     * (recurrence variables only).
+     */
+    ir::Operand use(const std::string& name, int distance = 0);
+
+    /** Immediate operand. */
+    ir::Operand imm(double value);
+
+    /** Assign `name` := opcode(sources); creates/updates its version. */
+    void assign(ir::Opcode opcode, const std::string& name,
+                std::vector<ir::Operand> sources);
+
+    /** Load array[stride*i + offset] into `name` (speculative). */
+    void load(const std::string& name, const std::string& array,
+              int offset, const ir::Operand& address, int stride = 1);
+
+    /** Store `value` to array[stride*i + offset], path-guarded. */
+    void store(const std::string& array, int offset,
+               const ir::Operand& address, const ir::Operand& value,
+               int stride = 1);
+
+    /** Open an if whose then-path runs when `condition > 0`. Nests. */
+    void beginIf(const ir::Operand& condition);
+
+    /** Switch to the else-path of the innermost open if. */
+    void elseBranch();
+
+    /** Close the innermost if, merging assigned variables via select. */
+    void endIf();
+
+    /**
+     * Finalize: require all ifs closed, emit the canonical copies for
+     * assigned recurrence variables and the back-substituted control
+     * tail, validate, and return the IF-converted loop.
+     */
+    ir::Loop finish();
+
+  private:
+    struct Frame
+    {
+        /** 0/1 value of this if's condition (register name). */
+        std::string condition;
+        /** Lazily materialised nested path values ("" = not yet). */
+        std::string thenPath;
+        std::string elsePath;
+        bool inElse = false;
+        /** Versions assigned inside each branch. */
+        std::map<std::string, std::string> thenVersions;
+        std::map<std::string, std::string> elseVersions;
+    };
+
+    enum class VarKind { kInvariant, kRecurrence, kLocal };
+
+    std::string freshName(const std::string& base);
+    /** Version of `name` visible here, or "" if none. */
+    std::string lookupVersion(const std::string& name) const;
+    /** Record an assignment's new version in the active scope. */
+    void recordVersion(const std::string& name,
+                       const std::string& version);
+    /** Path-condition value register for the active branch ("" = top). */
+    std::string materializePath(std::size_t depth, bool else_branch);
+    std::string activePath();
+    /** Guard predicate operand for the active path (top level: none). */
+    std::optional<ir::Operand> activeGuard();
+
+    ir::LoopBuilder builder_;
+    std::map<std::string, VarKind> kinds_;
+    std::map<std::string, std::string> topVersions_;
+    std::map<std::string, std::string> guardCache_;
+    std::vector<Frame> frames_;
+    int nextId_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace ims::frontend
+
+#endif // IMS_FRONTEND_REGION_BUILDER_HPP

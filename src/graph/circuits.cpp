@@ -1,0 +1,133 @@
+#include "graph/circuits.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace ims::graph {
+
+namespace {
+
+/**
+ * Johnson-style blocked circuit search rooted at `start`, restricted to
+ * vertices >= start (so each circuit is found exactly once, at its
+ * smallest member).
+ */
+class CircuitSearch
+{
+  public:
+    CircuitSearch(const DepGraph& graph, std::size_t max_circuits,
+                  std::vector<std::vector<EdgeId>>& out)
+        : graph_(graph),
+          maxCircuits_(max_circuits),
+          out_(out),
+          blocked_(graph.numVertices(), false),
+          blockList_(graph.numVertices())
+    {
+    }
+
+    void
+    run(VertexId start)
+    {
+        start_ = start;
+        for (int v = 0; v < graph_.numVertices(); ++v) {
+            blocked_[v] = false;
+            blockList_[v].clear();
+        }
+        circuit(start);
+    }
+
+  private:
+    bool
+    circuit(VertexId v)
+    {
+        bool found = false;
+        blocked_[v] = true;
+        for (EdgeId eid : graph_.outEdges(v)) {
+            const DepEdge& edge = graph_.edge(eid);
+            const VertexId w = edge.to;
+            if (w < start_ || graph_.isPseudo(w))
+                continue;
+            if (w == start_) {
+                path_.push_back(eid);
+                support::check(out_.size() < maxCircuits_,
+                               "elementary-circuit enumeration exceeded "
+                               "its circuit budget");
+                out_.push_back(path_);
+                path_.pop_back();
+                found = true;
+            } else if (!blocked_[w]) {
+                path_.push_back(eid);
+                if (circuit(w))
+                    found = true;
+                path_.pop_back();
+            }
+        }
+        if (found) {
+            unblock(v);
+        } else {
+            for (EdgeId eid : graph_.outEdges(v)) {
+                const VertexId w = graph_.edge(eid).to;
+                if (w < start_ || graph_.isPseudo(w) || w == start_)
+                    continue;
+                auto& list = blockList_[w];
+                if (std::find(list.begin(), list.end(), v) == list.end())
+                    list.push_back(v);
+            }
+        }
+        return found;
+    }
+
+    void
+    unblock(VertexId v)
+    {
+        blocked_[v] = false;
+        auto pending = std::move(blockList_[v]);
+        blockList_[v].clear();
+        for (VertexId w : pending) {
+            if (blocked_[w])
+                unblock(w);
+        }
+    }
+
+    const DepGraph& graph_;
+    std::size_t maxCircuits_;
+    std::vector<std::vector<EdgeId>>& out_;
+    std::vector<bool> blocked_;
+    std::vector<std::vector<VertexId>> blockList_;
+    std::vector<EdgeId> path_;
+    VertexId start_ = 0;
+};
+
+} // namespace
+
+std::vector<std::vector<EdgeId>>
+enumerateElementaryCircuits(const DepGraph& graph, std::size_t max_circuits)
+{
+    std::vector<std::vector<EdgeId>> circuits;
+    CircuitSearch search(graph, max_circuits, circuits);
+    for (VertexId start = 0; start < graph.numOps(); ++start)
+        search.run(start);
+    return circuits;
+}
+
+int
+circuitDelay(const DepGraph& graph, const std::vector<EdgeId>& circuit)
+{
+    int total = 0;
+    for (EdgeId eid : circuit)
+        total += graph.edge(eid).delay;
+    return total;
+}
+
+int
+circuitDistance(const DepGraph& graph, const std::vector<EdgeId>& circuit)
+{
+    int total = 0;
+    for (EdgeId eid : circuit)
+        total += graph.edge(eid).distance;
+    return total;
+}
+
+} // namespace ims::graph

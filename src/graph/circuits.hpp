@@ -1,0 +1,37 @@
+#ifndef IMS_GRAPH_CIRCUITS_HPP
+#define IMS_GRAPH_CIRCUITS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+
+namespace ims::graph {
+
+/**
+ * Enumerate all elementary circuits of the dependence graph (paths that
+ * start and end at the same vertex and visit no vertex twice), as edge-id
+ * sequences. Parallel edges produce distinct circuits; a reflexive edge is
+ * a length-1 circuit. Pseudo vertices are skipped (they cannot lie on a
+ * cycle).
+ *
+ * This is the Cydra 5 compiler's approach to RecMII (§2.2, citing Tiernan
+ * and Mateti/Deo); the implementation follows Johnson's blocked-search
+ * formulation. Enumeration is worst-case exponential, so it aborts with
+ * support::Error once `max_circuits` circuits have been found — callers
+ * (tests, the RecMII ablation bench) only use it on modest graphs.
+ */
+std::vector<std::vector<EdgeId>>
+enumerateElementaryCircuits(const DepGraph& graph,
+                            std::size_t max_circuits = 1u << 20);
+
+/** Sum of edge delays along a circuit. */
+int circuitDelay(const DepGraph& graph, const std::vector<EdgeId>& circuit);
+
+/** Sum of edge distances along a circuit. */
+int circuitDistance(const DepGraph& graph,
+                    const std::vector<EdgeId>& circuit);
+
+} // namespace ims::graph
+
+#endif // IMS_GRAPH_CIRCUITS_HPP

@@ -1,0 +1,28 @@
+#include "graph/delay_model.hpp"
+
+#include <cassert>
+
+namespace ims::graph {
+
+int
+dependenceDelay(DepKind kind, int pred_latency, int succ_latency,
+                DelayMode mode)
+{
+    switch (kind) {
+      case DepKind::kFlow:
+      case DepKind::kControl:
+        return pred_latency;
+      case DepKind::kAnti:
+        return mode == DelayMode::kExact ? 1 - succ_latency : 0;
+      case DepKind::kOutput:
+        return mode == DelayMode::kExact
+                   ? 1 + pred_latency - succ_latency
+                   : pred_latency;
+      case DepKind::kPseudo:
+        assert(false && "pseudo edges carry explicit delays");
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace ims::graph

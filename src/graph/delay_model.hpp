@@ -1,0 +1,40 @@
+#ifndef IMS_GRAPH_DELAY_MODEL_HPP
+#define IMS_GRAPH_DELAY_MODEL_HPP
+
+#include "graph/dep_graph.hpp"
+
+namespace ims::graph {
+
+/**
+ * Which column of the paper's Table 1 to use when computing dependence
+ * delays.
+ *
+ * kExact suits a classical VLIW with architecturally visible non-unit
+ * latencies: anti- and output-dependence delays may be negative because
+ * "it is only necessary that the predecessor start at the same time as or
+ * finish before, respectively, the successor finishes".
+ *
+ * kConservative assumes only that the successor's latency is at least 1,
+ * which is "more appropriate for superscalar processors".
+ */
+enum class DelayMode { kExact, kConservative };
+
+/**
+ * Dependence delay per Table 1.
+ *
+ *   kind     exact                     conservative
+ *   flow     Latency(pred)             Latency(pred)
+ *   anti     1 - Latency(succ)         0
+ *   output   1 + Latency(pred)         Latency(pred)
+ *              - Latency(succ)
+ *
+ * Control dependences (predicate flow) use the flow rule. Pseudo edges are
+ * not computed here (START edges carry delay 0; op->STOP edges carry the
+ * op's latency so that STOP's schedule time equals the schedule length).
+ */
+int dependenceDelay(DepKind kind, int pred_latency, int succ_latency,
+                    DelayMode mode);
+
+} // namespace ims::graph
+
+#endif // IMS_GRAPH_DELAY_MODEL_HPP

@@ -1,0 +1,108 @@
+#ifndef IMS_GRAPH_DEP_GRAPH_HPP
+#define IMS_GRAPH_DEP_GRAPH_HPP
+
+#include <string>
+#include <vector>
+
+namespace ims::graph {
+
+/** Vertex index inside a DepGraph (real ops first, then START, STOP). */
+using VertexId = int;
+/** Edge index inside a DepGraph. */
+using EdgeId = int;
+
+/**
+ * Dependence classification per §2.2 / Table 1 of the paper. Memory
+ * dependences reuse the same three data-dependence kinds; `kControl` covers
+ * predicate-based control dependence after IF-conversion, and `kPseudo`
+ * marks the START/STOP bookkeeping edges.
+ */
+enum class DepKind
+{
+    kFlow,
+    kAnti,
+    kOutput,
+    kControl,
+    kPseudo,
+};
+
+/** Name of a DepKind ("flow", "anti", ...). */
+std::string depKindName(DepKind kind);
+
+/**
+ * A dependence edge: the successor may not start earlier than
+ * `delay` cycles after the predecessor starts, where the two operations
+ * are `distance` iterations apart (§2.2: "the distance of a dependence is
+ * the number of iterations separating the two operations involved").
+ *
+ * Under an initiation interval II the scheduling constraint is
+ *   SchedTime(to) >= SchedTime(from) + delay - II * distance.
+ */
+struct DepEdge
+{
+    VertexId from = 0;
+    VertexId to = 0;
+    DepKind kind = DepKind::kFlow;
+    int distance = 0;
+    int delay = 0;
+    /** True when the dependence is carried through memory. */
+    bool throughMemory = false;
+};
+
+/**
+ * The dependence graph for a loop body, including the START and STOP
+ * pseudo-operations that §3.1 adds ("START and STOP are made to be the
+ * predecessor and successor, respectively, of all the other operations").
+ *
+ * Vertices 0..numOps-1 correspond to loop operations by id; vertex
+ * `start()` is START and `stop()` is STOP.
+ */
+class DepGraph
+{
+  public:
+    /** Create a graph over `num_ops` real operations (plus START/STOP). */
+    explicit DepGraph(int num_ops);
+
+    int numOps() const { return numOps_; }
+    int numVertices() const { return numOps_ + 2; }
+    VertexId start() const { return numOps_; }
+    VertexId stop() const { return numOps_ + 1; }
+
+    bool
+    isPseudo(VertexId v) const
+    {
+        return v >= numOps_;
+    }
+
+    /** Append an edge; returns its id. */
+    EdgeId addEdge(DepEdge edge);
+
+    const std::vector<DepEdge>& edges() const { return edges_; }
+    const DepEdge& edge(EdgeId id) const { return edges_[id]; }
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+
+    /** Ids of edges leaving `v`. */
+    const std::vector<EdgeId>& outEdges(VertexId v) const { return out_[v]; }
+
+    /** Ids of edges entering `v`. */
+    const std::vector<EdgeId>& inEdges(VertexId v) const { return in_[v]; }
+
+    /**
+     * Number of non-pseudo edges (the paper's E in the complexity study,
+     * which is measured on the loop's dependence graph proper).
+     */
+    int numRealEdges() const;
+
+    /** Multi-line dump for debugging. */
+    std::string toString() const;
+
+  private:
+    int numOps_;
+    std::vector<DepEdge> edges_;
+    std::vector<std::vector<EdgeId>> out_;
+    std::vector<std::vector<EdgeId>> in_;
+};
+
+} // namespace ims::graph
+
+#endif // IMS_GRAPH_DEP_GRAPH_HPP

@@ -1,0 +1,179 @@
+#include "graph/graph_builder.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ims::graph {
+
+namespace {
+
+/** All register-read operands of `op`, guard included. */
+std::vector<ir::Operand>
+registerReads(const ir::Operation& op)
+{
+    std::vector<ir::Operand> reads;
+    for (const auto& src : op.sources) {
+        if (src.isRegister())
+            reads.push_back(src);
+    }
+    if (op.guard)
+        reads.push_back(*op.guard);
+    return reads;
+}
+
+} // namespace
+
+DepGraph
+buildDepGraph(const ir::Loop& loop, const machine::MachineModel& machine,
+              const GraphOptions& options)
+{
+    loop.validate();
+    DepGraph graph(loop.size());
+
+    auto latency = [&](ir::OpId id) {
+        return machine.latency(loop.operation(id).opcode);
+    };
+    auto add_dep = [&](ir::OpId from, ir::OpId to, DepKind kind, int distance,
+                       bool through_memory) {
+        DepEdge edge;
+        edge.from = from;
+        edge.to = to;
+        edge.kind = kind;
+        edge.distance = distance;
+        edge.delay = dependenceDelay(kind, latency(from), latency(to),
+                                     options.delayMode);
+        edge.throughMemory = through_memory;
+        graph.addEdge(edge);
+    };
+
+    // Collect readers of each register for the non-DSA anti-dependences.
+    for (const auto& op : loop.operations()) {
+        support::check(machine.supports(op.opcode),
+                       "machine '" + machine.name() +
+                           "' does not implement opcode " +
+                           ir::opcodeName(op.opcode));
+        for (const auto& read : registerReads(op)) {
+            const ir::OpId def = loop.definingOp(read.reg);
+            if (def < 0)
+                continue; // pure live-in: no producing operation
+            const bool is_control = op.guard && read.reg == op.guard->reg &&
+                                    read.distance == op.guard->distance &&
+                                    loop.reg(read.reg).isPredicate;
+            add_dep(def, op.id,
+                    is_control ? DepKind::kControl : DepKind::kFlow,
+                    read.distance, false);
+        }
+    }
+
+    if (!options.dsaForm) {
+        support::check(loop.maxDistance() <= 1,
+                       "single-register form cannot represent operand "
+                       "distances greater than 1");
+        for (const auto& op : loop.operations()) {
+            if (!op.hasDest())
+                continue;
+            // Output self-dependence: this iteration's write vs the next's.
+            add_dep(op.id, op.id, DepKind::kOutput, 1, false);
+        }
+        for (const auto& op : loop.operations()) {
+            for (const auto& read : registerReads(op)) {
+                const ir::OpId def = loop.definingOp(read.reg);
+                if (def < 0)
+                    continue;
+                // The read (of the value written `distance` back) must
+                // precede the overwriting definition, which occurs
+                // 1 - distance iterations later.
+                const int anti_distance = 1 - read.distance;
+                if (anti_distance >= 0)
+                    add_dep(op.id, def, DepKind::kAnti, anti_distance, false);
+            }
+        }
+    }
+
+    // Memory dependences between accesses to the same array. Access A in
+    // iteration i touches array[sA*i + oA]; access B in iteration j touches
+    // array[sB*j + oB]. With equal strides s they conflict exactly when
+    // s*(j - i) == oA - oB, i.e. at a single iteration distance (or never,
+    // when s does not divide the offset difference). Mixed strides are
+    // handled conservatively with distance-0 and distance-1 edges.
+    for (const auto& a : loop.operations()) {
+        if (!a.memRef)
+            continue;
+        for (const auto& b : loop.operations()) {
+            if (!b.memRef || b.memRef->array != a.memRef->array)
+                continue;
+            if (!a.isStore() && !b.isStore())
+                continue; // load-load pairs never conflict
+            const bool same_op = a.id == b.id;
+
+            DepKind kind;
+            if (a.isStore() && !b.isStore())
+                kind = DepKind::kFlow;
+            else if (!a.isStore() && b.isStore())
+                kind = DepKind::kAnti;
+            else
+                kind = DepKind::kOutput;
+
+            if (a.memRef->stride == b.memRef->stride) {
+                const int diff = a.memRef->offset - b.memRef->offset;
+                const int stride = a.memRef->stride;
+                if (diff % stride != 0)
+                    continue; // access sequences never meet
+                const int distance = diff / stride;
+                const bool valid =
+                    distance > 0 ||
+                    (distance == 0 && !same_op && a.id < b.id);
+                if (valid)
+                    add_dep(a.id, b.id, kind, distance, true);
+            } else {
+                // Conservative: serialise within the iteration (program
+                // order) and across consecutive iterations.
+                if (!same_op && a.id < b.id)
+                    add_dep(a.id, b.id, kind, 0, true);
+                add_dep(a.id, b.id, kind, 1, true);
+            }
+        }
+    }
+
+    // Early exits (WHILE-loops / loops with early exits, §5): stores must
+    // never commit for iterations the loop did not reach, so every store
+    // is control-dependent on its own iteration's earlier exits
+    // (distance 0) and on later-listed exits of the previous iteration
+    // (distance 1). Speculative non-store operations are unconstrained
+    // ("control dependences may be selectively ignored").
+    for (const auto& exit_op : loop.operations()) {
+        if (exit_op.opcode != ir::Opcode::kExitIf)
+            continue;
+        for (const auto& store : loop.operations()) {
+            if (!store.isStore())
+                continue;
+            const int distance = store.id > exit_op.id ? 0 : 1;
+            add_dep(exit_op.id, store.id, DepKind::kControl, distance,
+                    false);
+        }
+    }
+
+    // START/STOP pseudo edges (§3.1).
+    for (const auto& op : loop.operations()) {
+        DepEdge start_edge;
+        start_edge.from = graph.start();
+        start_edge.to = op.id;
+        start_edge.kind = DepKind::kPseudo;
+        start_edge.distance = 0;
+        start_edge.delay = 0;
+        graph.addEdge(start_edge);
+
+        DepEdge stop_edge;
+        stop_edge.from = op.id;
+        stop_edge.to = graph.stop();
+        stop_edge.kind = DepKind::kPseudo;
+        stop_edge.distance = 0;
+        stop_edge.delay = latency(op.id);
+        graph.addEdge(stop_edge);
+    }
+
+    return graph;
+}
+
+} // namespace ims::graph

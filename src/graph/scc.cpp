@@ -1,0 +1,114 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ims::graph {
+
+SccResult::SccResult(std::vector<std::vector<VertexId>> components,
+                     std::vector<int> component_of)
+    : components_(std::move(components)), componentOf_(std::move(component_of))
+{
+}
+
+bool
+SccResult::isNonTrivial(int component) const
+{
+    assert(component >= 0 && component < numComponents());
+    return components_[component].size() > 1;
+}
+
+int
+SccResult::numNonTrivial() const
+{
+    int count = 0;
+    for (const auto& component : components_) {
+        if (component.size() > 1)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<int>
+SccResult::componentSizes() const
+{
+    std::vector<int> sizes;
+    sizes.reserve(components_.size());
+    for (const auto& component : components_)
+        sizes.push_back(static_cast<int>(component.size()));
+    std::sort(sizes.rbegin(), sizes.rend());
+    return sizes;
+}
+
+SccResult
+findSccs(const DepGraph& graph, support::Counters* counters)
+{
+    const int n = graph.numVertices();
+    std::vector<int> index(n, -1);
+    std::vector<int> lowlink(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<VertexId> stack;
+    std::vector<std::vector<VertexId>> components;
+    std::vector<int> component_of(n, -1);
+    int next_index = 0;
+
+    // Iterative Tarjan: each frame tracks the vertex and the position in
+    // its out-edge list.
+    struct Frame
+    {
+        VertexId vertex;
+        std::size_t edge_pos;
+    };
+    std::vector<Frame> call_stack;
+
+    for (VertexId root = 0; root < n; ++root) {
+        if (index[root] != -1)
+            continue;
+        call_stack.push_back(Frame{root, 0});
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!call_stack.empty()) {
+            Frame& frame = call_stack.back();
+            const VertexId v = frame.vertex;
+            const auto& out = graph.outEdges(v);
+            if (frame.edge_pos < out.size()) {
+                const VertexId w = graph.edge(out[frame.edge_pos]).to;
+                ++frame.edge_pos;
+                support::bump(counters, &support::Counters::sccEdgeVisits);
+                if (index[w] == -1) {
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    call_stack.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+                }
+            } else {
+                call_stack.pop_back();
+                if (!call_stack.empty()) {
+                    const VertexId parent = call_stack.back().vertex;
+                    lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+                }
+                if (lowlink[v] == index[v]) {
+                    std::vector<VertexId> component;
+                    VertexId w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        on_stack[w] = false;
+                        component_of[w] =
+                            static_cast<int>(components.size());
+                        component.push_back(w);
+                    } while (w != v);
+                    components.push_back(std::move(component));
+                }
+            }
+        }
+    }
+
+    return SccResult(std::move(components), std::move(component_of));
+}
+
+} // namespace ims::graph

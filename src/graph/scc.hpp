@@ -1,0 +1,64 @@
+#ifndef IMS_GRAPH_SCC_HPP
+#define IMS_GRAPH_SCC_HPP
+
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "support/counters.hpp"
+
+namespace ims::graph {
+
+/**
+ * Strongly connected components of a dependence graph.
+ *
+ * Components are reported in reverse topological order of the condensation
+ * (components with no successors first), which is the order both the
+ * HeightR computation and the per-SCC RecMII search want to consume them
+ * in. Following §2.2/§4.2 of the paper, a component is "non-trivial" only
+ * if it contains more than one operation — a single operation with a
+ * reflexive edge still counts as trivial.
+ */
+class SccResult
+{
+  public:
+    SccResult(std::vector<std::vector<VertexId>> components,
+              std::vector<int> component_of);
+
+    /** Components, each a list of member vertices. */
+    const std::vector<std::vector<VertexId>>&
+    components() const
+    {
+        return components_;
+    }
+
+    int numComponents() const { return static_cast<int>(components_.size()); }
+
+    /** Component index containing vertex `v`. */
+    int componentOf(VertexId v) const { return componentOf_[v]; }
+
+    /** True when the component has more than one member. */
+    bool isNonTrivial(int component) const;
+
+    /** Count of non-trivial components (excludes pseudo vertices). */
+    int numNonTrivial() const;
+
+    /** Sizes of all components, largest first (for the Table 3 stats). */
+    std::vector<int> componentSizes() const;
+
+  private:
+    std::vector<std::vector<VertexId>> components_;
+    std::vector<int> componentOf_;
+};
+
+/**
+ * Tarjan's algorithm (iterative), O(N + E) per §4.4/Table 4. Pseudo
+ * vertices participate but can never join a cycle, so they always form
+ * trivial components. `counters` (optional) accumulates the edge visits
+ * for the complexity study.
+ */
+SccResult findSccs(const DepGraph& graph,
+                   support::Counters* counters = nullptr);
+
+} // namespace ims::graph
+
+#endif // IMS_GRAPH_SCC_HPP

@@ -1,0 +1,126 @@
+#ifndef IMS_IR_LOOP_BUILDER_HPP
+#define IMS_IR_LOOP_BUILDER_HPP
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace ims::ir {
+
+/**
+ * Convenience builder for Loop bodies.
+ *
+ * Registers and arrays are created on first mention by name; `reg("x")`
+ * returns an operand reading x from this iteration and `reg("x", 1)` from
+ * the previous one. The finished loop is validated before being returned.
+ *
+ * Example (daxpy-like body):
+ * @code
+ *   LoopBuilder b("daxpy");
+ *   b.liveIn("a");
+ *   b.recurrence("ax");  // address live-in updated every iteration
+ *   b.op(Opcode::kAddrAdd, "ax", {b.reg("ax", 1), b.imm(8)});
+ *   b.load("xv", "X", 0, b.reg("ax"));
+ *   ...
+ *   Loop loop = b.build();
+ * @endcode
+ */
+class LoopBuilder
+{
+  public:
+    explicit LoopBuilder(std::string name);
+
+    /** Declare a live-in (loop-invariant or recurrence seed) register. */
+    LoopBuilder& liveIn(const std::string& name, bool predicate = false);
+
+    /**
+     * Declare a register that is read at distance >= 1 before being defined
+     * in program order (a recurrence); identical to liveIn and provided
+     * only for readability at call sites.
+     */
+    LoopBuilder& recurrence(const std::string& name);
+
+    /** Operand reading register `name` from `distance` iterations back. */
+    Operand reg(const std::string& name, int distance = 0);
+
+    /** Immediate operand. */
+    Operand imm(double value);
+
+    /**
+     * Append a generic operation. `dest` may be "" for result-less opcodes.
+     * Returns the operation id.
+     */
+    OpId op(Opcode opcode, const std::string& dest,
+            std::vector<Operand> sources, const std::string& comment = "");
+
+    /** Append a guarded operation (IF-converted). */
+    OpId opIf(Opcode opcode, const std::string& dest,
+              std::vector<Operand> sources, const Operand& guard,
+              const std::string& comment = "");
+
+    /**
+     * Append a load of array[stride*i + offset] with the given address
+     * operand.
+     */
+    OpId load(const std::string& dest, const std::string& array, int offset,
+              const Operand& address, const std::string& comment = "",
+              int stride = 1);
+
+    /** Append a store of `value` to array[stride*i + offset]. */
+    OpId store(const std::string& array, int offset, const Operand& address,
+               const Operand& value, const std::string& comment = "",
+               int stride = 1);
+
+    /** Guarded variants of load/store. */
+    OpId loadIf(const std::string& dest, const std::string& array, int offset,
+                const Operand& address, const Operand& guard,
+                int stride = 1);
+    OpId storeIf(const std::string& array, int offset, const Operand& address,
+                 const Operand& value, const Operand& guard,
+                 int stride = 1);
+
+    /**
+     * Append an early-exit operation: the loop leaves after this point of
+     * iteration i when `condition` > 0 (WHILE-loops / early exits, §5).
+     */
+    OpId exitIf(const Operand& condition, const std::string& comment = "");
+
+    /**
+     * Append the canonical loop-control tail: the trip-count decrement
+     * `n = asub n[1] - 1` and the loop-closing branch reading n. Most
+     * kernels call this last. `counter` must be declared live-in first
+     * (done automatically).
+     */
+    void closeLoop(const std::string& counter = "n");
+
+    /**
+     * Back-substituted variant of closeLoop (the form the paper's input
+     * comes in after "recurrence back-substitution", §4.1): the decrement
+     * reads the counter from `factor` iterations back and subtracts
+     * `factor`, so the recurrence constrains the II by only
+     * ceil(latency / factor) instead of the full address-ALU latency.
+     */
+    void closeLoopBackSubstituted(const std::string& counter = "n",
+                                  int factor = 3);
+
+    /** Finalize: validate and return the loop (builder becomes empty). */
+    Loop build();
+
+  private:
+    RegId ensureRegister(const std::string& name, bool predicate,
+                         bool live_in);
+    ArrayId ensureArray(const std::string& name);
+    /** Attach a pending guard-aware operation. */
+    OpId append(Operation operation);
+
+    Loop loop_;
+    std::map<std::string, RegId> regByName_;
+    std::map<std::string, ArrayId> arrayByName_;
+};
+
+} // namespace ims::ir
+
+#endif // IMS_IR_LOOP_BUILDER_HPP

@@ -1,0 +1,119 @@
+#ifndef IMS_IR_OPERATION_HPP
+#define IMS_IR_OPERATION_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+
+namespace ims::ir {
+
+/** Index of a virtual register within its Loop. */
+using RegId = int;
+/** Index of an operation within its Loop. */
+using OpId = int;
+/** Index of an array symbol within its Loop. */
+using ArrayId = int;
+
+/** Sentinel for "no register". */
+inline constexpr RegId kNoReg = -1;
+
+/**
+ * A source operand: either a virtual-register read or an immediate.
+ *
+ * Register reads carry an iteration `distance`: the loop body is in dynamic
+ * single assignment (EVR) form (§2.2 of the paper), so `reg` with
+ * `distance == d` denotes the value written to that register d iterations
+ * earlier (d == 0 means this iteration). Reads of live-in registers (which
+ * have no defining operation) always use distance 0.
+ */
+struct Operand
+{
+    enum class Kind { kRegister, kImmediate };
+
+    Kind kind = Kind::kImmediate;
+    /** Register read: which register. */
+    RegId reg = kNoReg;
+    /** Register read: how many iterations back the value was defined. */
+    int distance = 0;
+    /** Immediate payload. */
+    double immediate = 0.0;
+
+    /** Make a register-read operand of the value defined `distance` back. */
+    static Operand
+    makeReg(RegId reg, int distance = 0)
+    {
+        Operand operand;
+        operand.kind = Kind::kRegister;
+        operand.reg = reg;
+        operand.distance = distance;
+        return operand;
+    }
+
+    /** Make an immediate operand. */
+    static Operand
+    makeImm(double value)
+    {
+        Operand operand;
+        operand.kind = Kind::kImmediate;
+        operand.immediate = value;
+        return operand;
+    }
+
+    bool isRegister() const { return kind == Kind::kRegister; }
+};
+
+/**
+ * Memory reference metadata carried by load/store operations.
+ *
+ * Accesses are to `array[stride * i + offset]` where i is the loop's
+ * canonical iteration number. The dependence-graph builder derives memory
+ * dependence distances from the affine access functions of accesses to the
+ * same array (e.g. a store to a[i] and a load of a[i-1] form a flow
+ * dependence of distance 1), and the simulator uses the same metadata to
+ * execute the access. Strides other than 1 appear in unrolled loop bodies.
+ */
+struct MemRef
+{
+    ArrayId array = -1;
+    /** Element index relative to the iteration counter. */
+    int offset = 0;
+    /** Elements advanced per iteration (>= 1). */
+    int stride = 1;
+};
+
+/**
+ * One operation of the loop body.
+ *
+ * Operations are stored by value inside a Loop; `id` is the operation's
+ * index there. A negative-kNoReg `dest` means the op produces no register
+ * result (stores, branches).
+ */
+struct Operation
+{
+    OpId id = -1;
+    Opcode opcode = Opcode::kAdd;
+    /** Result register, or kNoReg. */
+    RegId dest = kNoReg;
+    /** Source operands, length matching sourceCount(opcode). */
+    std::vector<Operand> sources;
+    /**
+     * Optional guard predicate (IF-converted code): the op only takes
+     * effect when the predicate value, read at the given distance, is true.
+     */
+    std::optional<Operand> guard;
+    /** Memory reference for load/store. */
+    std::optional<MemRef> memRef;
+    /** Free-form annotation used when printing. */
+    std::string comment;
+
+    bool isLoad() const { return opcode == Opcode::kLoad; }
+    bool isStore() const { return opcode == Opcode::kStore; }
+    bool isBranch() const { return opcode == Opcode::kBranch; }
+    bool hasDest() const { return dest != kNoReg; }
+};
+
+} // namespace ims::ir
+
+#endif // IMS_IR_OPERATION_HPP

@@ -1,0 +1,57 @@
+#ifndef IMS_IR_PARSER_HPP
+#define IMS_IR_PARSER_HPP
+
+#include <string>
+
+#include "ir/loop.hpp"
+
+namespace ims::ir {
+
+/**
+ * Parse the textual mini-IR format into a Loop.
+ *
+ * Grammar (line oriented; ';' starts a comment; blank lines ignored):
+ *
+ *   loop <name>                      -- required first directive
+ *   array <name>                     -- declare an array symbol
+ *   livein <name>                    -- declare a live-in register
+ *   predicate <name>                 -- declare a live-in predicate register
+ *   recurrence <name>                -- live-in register also defined below
+ *   <dest> = <opcode> <operands>     -- operation with a result
+ *   _ = <opcode> <operands>          -- operation without a result
+ *
+ * where <operands> is a comma-separated list of
+ *   <reg>              read this iteration's value
+ *   <reg>[d]           read the value defined d iterations earlier
+ *   #<number>          immediate
+ * optionally followed by
+ *   @ <array> <offset> [stride]   memory reference (loads/stores);
+ *                                 stride defaults to 1
+ *   if <reg>[d]?                  guard predicate
+ *
+ * Example:
+ * @code
+ *   loop daxpy
+ *   array X
+ *   array Y
+ *   livein a
+ *   recurrence ax
+ *   ax = aadd ax[1], #8
+ *   xv = load ax @ X 0
+ *   yv = load ax @ Y 0
+ *   t  = mul a, xv
+ *   s  = add t, yv
+ *   _  = store ax, s @ Y 0
+ *   recurrence n      ; declarations may appear anywhere before first use
+ *   n  = asub n[1], #1
+ *   _  = branch n
+ * @endcode
+ *
+ * @throws support::Error with a line number on any syntax or semantic
+ *         violation.
+ */
+Loop parseLoop(const std::string& text);
+
+} // namespace ims::ir
+
+#endif // IMS_IR_PARSER_HPP

@@ -1,0 +1,109 @@
+#include "machine/cydra5.hpp"
+
+#include "machine/machine_builder.hpp"
+
+namespace ims::machine {
+
+MachineModel
+cydra5()
+{
+    MachineBuilder b("cydra5");
+
+    const ResourceId mem0 = b.addResource("mem-port-0");
+    const ResourceId mem1 = b.addResource("mem-port-1");
+    const ResourceId aalu0 = b.addResource("addr-alu-0");
+    const ResourceId aalu1 = b.addResource("addr-alu-1");
+    const ResourceId src_a = b.addResource("src-bus-a");
+    const ResourceId src_b = b.addResource("src-bus-b");
+    const ResourceId add1 = b.addResource("adder-stage-1");
+    const ResourceId add2 = b.addResource("adder-stage-2");
+    const ResourceId mul1 = b.addResource("mult-stage-1");
+    const ResourceId mul2 = b.addResource("mult-stage-2");
+    const ResourceId mul3 = b.addResource("mult-stage-3");
+    const ResourceId result_add = b.addResource("adder-result-bus");
+    const ResourceId result_mul = b.addResource("mult-result-bus");
+    const ResourceId instr = b.addResource("instr-unit");
+
+    using ir::Opcode;
+
+    // --- Memory ports (simple tables, two alternatives). ------------------
+    b.opcode(Opcode::kLoad, 20)
+        .simpleAlternative("mem-port-0", mem0)
+        .simpleAlternative("mem-port-1", mem1);
+    b.opcode(Opcode::kStore, 1)
+        .simpleAlternative("mem-port-0", mem0)
+        .simpleAlternative("mem-port-1", mem1);
+    b.opcode(Opcode::kPredSet, 2)
+        .simpleAlternative("mem-port-0", mem0)
+        .simpleAlternative("mem-port-1", mem1);
+    b.opcode(Opcode::kPredClear, 2)
+        .simpleAlternative("mem-port-0", mem0)
+        .simpleAlternative("mem-port-1", mem1);
+
+    // --- Address ALUs (simple tables, two alternatives). ------------------
+    b.opcode(Opcode::kAddrAdd, 3)
+        .simpleAlternative("addr-alu-0", aalu0)
+        .simpleAlternative("addr-alu-1", aalu1);
+    b.opcode(Opcode::kAddrSub, 3)
+        .simpleAlternative("addr-alu-0", aalu0)
+        .simpleAlternative("addr-alu-1", aalu1);
+
+    // --- Adder pipeline: the Figure 1(a) complex table. --------------------
+    // Source buses at issue, two pipeline stages, result bus on the last
+    // cycle of the 4-cycle execution.
+    ReservationTable adder_table;
+    adder_table.addUse(0, src_a);
+    adder_table.addUse(0, src_b);
+    adder_table.addUse(1, add1);
+    adder_table.addUse(2, add2);
+    adder_table.addUse(3, result_add);
+
+    for (Opcode opcode :
+         {Opcode::kAdd, Opcode::kSub, Opcode::kMin, Opcode::kMax,
+          Opcode::kAbs, Opcode::kCmpGt, Opcode::kSelect}) {
+        b.opcode(opcode, 4).alternative("adder", adder_table);
+    }
+
+    // Copy: adder pipeline or either address ALU (three alternatives).
+    b.opcode(Opcode::kCopy, 4)
+        .alternative("adder", adder_table)
+        .simpleAlternative("addr-alu-0", aalu0)
+        .simpleAlternative("addr-alu-1", aalu1);
+
+    // --- Multiplier pipeline: the Figure 1(b) complex table. ---------------
+    ReservationTable mult_table;
+    mult_table.addUse(0, src_a);
+    mult_table.addUse(0, src_b);
+    mult_table.addUse(1, mul1);
+    mult_table.addUse(2, mul2);
+    mult_table.addUse(3, mul3);
+    mult_table.addUse(4, result_mul);
+    b.opcode(Opcode::kMul, 5).alternative("multiplier", mult_table);
+
+    // Divide and square root iterate in the first multiplier stage for most
+    // of their execution: block-heavy complex tables (§2.1's hard case).
+    ReservationTable div_table;
+    div_table.addUse(0, src_a);
+    div_table.addUse(0, src_b);
+    div_table.addBlockUse(1, 18, mul1);
+    div_table.addUse(19, mul2);
+    div_table.addUse(20, mul3);
+    div_table.addUse(21, result_mul);
+    b.opcode(Opcode::kDiv, 22).alternative("multiplier", div_table);
+
+    ReservationTable sqrt_table;
+    sqrt_table.addUse(0, src_a);
+    sqrt_table.addBlockUse(1, 22, mul1);
+    sqrt_table.addUse(23, mul2);
+    sqrt_table.addUse(24, mul3);
+    sqrt_table.addUse(25, result_mul);
+    b.opcode(Opcode::kSqrt, 26).alternative("multiplier", sqrt_table);
+
+    // --- Instruction unit. -------------------------------------------------
+    b.opcode(Opcode::kBranch, 1).simpleAlternative("instr-unit", instr);
+    b.opcode(Opcode::kExitIf, 1).simpleAlternative("instr-unit", instr);
+
+    return b.build();
+}
+
+} // namespace ims::machine

@@ -1,0 +1,38 @@
+#ifndef IMS_MACHINE_CYDRA5_HPP
+#define IMS_MACHINE_CYDRA5_HPP
+
+#include "machine/machine_model.hpp"
+
+namespace ims::machine {
+
+/**
+ * The Cydra-5-like machine model of the paper's Table 2, used for all the
+ * corpus experiments:
+ *
+ *   Functional unit  #  Operations                      Latency
+ *   Memory port      2  load                            20 (paper's
+ *                                                        substitute for 26)
+ *                       store                            1
+ *                       predicate set / clear            2
+ *   Address ALU      2  address add / subtract           3
+ *   Adder            1  int/flp add, sub, min, max,      4
+ *                       abs, compare, select, copy*
+ *   Multiplier       1  int/flp multiply                 5
+ *                       int/flp divide                  22
+ *                       flp square root                 26
+ *   Instruction unit 1  loop-closing branch              1
+ *
+ * (*copy may also execute on either address ALU, giving it three
+ * alternatives — the multi-alternative case of §2.1.)
+ *
+ * Reservation tables follow Figure 1: adder and multiplier operations share
+ * the two source-operand buses on the issue cycle and the result bus on the
+ * last cycle of execution (complex tables); divide and square root block
+ * the first multiplier stage for most of their execution (block-heavy
+ * tables); memory-port and address-ALU operations use simple tables.
+ */
+MachineModel cydra5();
+
+} // namespace ims::machine
+
+#endif // IMS_MACHINE_CYDRA5_HPP

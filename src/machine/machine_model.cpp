@@ -1,0 +1,104 @@
+#include "machine/machine_model.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ims::machine {
+
+MachineModel::MachineModel(std::string name,
+                           std::vector<std::string> resource_names,
+                           std::map<ir::Opcode, OpcodeInfo> opcodes)
+    : name_(std::move(name)),
+      resourceNames_(std::move(resource_names)),
+      opcodes_(std::move(opcodes))
+{
+    // Pseudo-operations are implicitly supported with zero latency and a
+    // single empty alternative so schedulers can treat them uniformly.
+    for (ir::Opcode pseudo : {ir::Opcode::kStart, ir::Opcode::kStop}) {
+        if (opcodes_.count(pseudo) == 0) {
+            OpcodeInfo info;
+            info.latency = 0;
+            info.alternatives = {Alternative{"pseudo", ReservationTable{}}};
+            opcodes_.emplace(pseudo, std::move(info));
+        }
+    }
+    for (const auto& [opcode, info] : opcodes_) {
+        support::check(!info.alternatives.empty(),
+                       "opcode " + ir::opcodeName(opcode) +
+                           " has no alternatives");
+        for (const auto& alt : info.alternatives) {
+            for (const auto& use : alt.table.uses()) {
+                support::check(use.resource >= 0 &&
+                                   use.resource < numResources(),
+                               "reservation table for " +
+                                   ir::opcodeName(opcode) +
+                                   " uses undeclared resource");
+            }
+        }
+    }
+}
+
+const std::string&
+MachineModel::resourceName(ResourceId id) const
+{
+    assert(id >= 0 && id < numResources());
+    return resourceNames_[id];
+}
+
+bool
+MachineModel::supports(ir::Opcode opcode) const
+{
+    return opcodes_.count(opcode) != 0;
+}
+
+const OpcodeInfo&
+MachineModel::info(ir::Opcode opcode) const
+{
+    auto it = opcodes_.find(opcode);
+    support::check(it != opcodes_.end(),
+                   "machine '" + name_ + "' does not implement opcode " +
+                       ir::opcodeName(opcode));
+    return it->second;
+}
+
+int
+MachineModel::latency(ir::Opcode opcode) const
+{
+    return info(opcode).latency;
+}
+
+int
+MachineModel::numAlternatives(ir::Opcode opcode) const
+{
+    return static_cast<int>(info(opcode).alternatives.size());
+}
+
+std::string
+MachineModel::toString() const
+{
+    std::ostringstream out;
+    out << "machine " << name_ << "\n  resources:";
+    for (const auto& r : resourceNames_)
+        out << " " << r;
+    out << "\n";
+    for (const auto& [opcode, info] : opcodes_) {
+        if (ir::isPseudo(opcode))
+            continue;
+        out << "  " << ir::opcodeName(opcode) << " (latency "
+            << info.latency << ")";
+        for (const auto& alt : info.alternatives) {
+            out << "\n    " << alt.name << " ["
+                << tableKindName(alt.table.kind()) << "]:";
+            for (const auto& use : alt.table.uses()) {
+                out << " t" << use.time << ":"
+                    << resourceNames_[use.resource];
+            }
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace ims::machine

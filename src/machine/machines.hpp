@@ -1,0 +1,32 @@
+#ifndef IMS_MACHINE_MACHINES_HPP
+#define IMS_MACHINE_MACHINES_HPP
+
+#include "machine/machine_model.hpp"
+
+namespace ims::machine {
+
+/**
+ * A clean 64-bit-datapath machine: the same functional-unit mix as the
+ * Cydra 5 model but with private buses, so every reservation table is
+ * simple (one resource for one cycle at issue). This is the machine the
+ * paper says future microprocessors resemble; used as an ablation to show
+ * how table complexity drives the need for iterative scheduling.
+ */
+MachineModel clean64();
+
+/**
+ * A wide VLIW: four memory ports, four address ALUs, two adders, two
+ * multipliers, all with simple tables and shorter latencies. Used by
+ * the machine-exploration example and ablation benches.
+ */
+MachineModel wideVliw();
+
+/**
+ * A minimal single-issue-per-class machine with unit latencies; useful in
+ * unit tests where hand-computed schedules must stay small.
+ */
+MachineModel scalarToy();
+
+} // namespace ims::machine
+
+#endif // IMS_MACHINE_MACHINES_HPP

@@ -1,0 +1,27 @@
+#include "mii/mii.hpp"
+
+#include "mii/rec_mii.hpp"
+
+namespace ims::mii {
+
+MiiResult
+computeMii(const ir::Loop& loop, const machine::MachineModel& machine,
+           const graph::DepGraph& graph, const graph::SccResult& sccs,
+           support::Counters* counters)
+{
+    MiiResult result;
+    result.resMii = computeResMii(loop, machine, counters).resMii;
+    result.mii =
+        computeRecMiiPerScc(graph, sccs, result.resMii, counters);
+    return result;
+}
+
+int
+computeTrueRecMii(const graph::DepGraph& graph,
+                  const graph::SccResult& sccs,
+                  support::Counters* counters)
+{
+    return computeRecMiiPerScc(graph, sccs, 1, counters);
+}
+
+} // namespace ims::mii

@@ -1,0 +1,47 @@
+#ifndef IMS_MII_MII_HPP
+#define IMS_MII_MII_HPP
+
+#include "graph/dep_graph.hpp"
+#include "graph/scc.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "mii/res_mii.hpp"
+#include "support/counters.hpp"
+
+namespace ims::mii {
+
+/** Combined lower-bound computation: MII = max(ResMII, RecMII) (§2). */
+struct MiiResult
+{
+    int resMii = 1;
+    /**
+     * The MII: smallest candidate >= ResMII feasible for every recurrence
+     * (computed with the paper's production protocol, which never looks
+     * below ResMII).
+     */
+    int mii = 1;
+};
+
+/**
+ * Production-compiler MII (§2.2): compute ResMII, then run the per-SCC
+ * feasibility search starting at ResMII ("since one is interested not in
+ * the RecMII but only in the MII, the initial trial value of II should be
+ * the ResMII").
+ */
+MiiResult computeMii(const ir::Loop& loop,
+                     const machine::MachineModel& machine,
+                     const graph::DepGraph& graph,
+                     const graph::SccResult& sccs,
+                     support::Counters* counters = nullptr);
+
+/**
+ * The true RecMII for statistics (Table 3's max(0, RecMII - ResMII) row):
+ * the same per-SCC search started from 1 instead of ResMII.
+ */
+int computeTrueRecMii(const graph::DepGraph& graph,
+                      const graph::SccResult& sccs,
+                      support::Counters* counters = nullptr);
+
+} // namespace ims::mii
+
+#endif // IMS_MII_MII_HPP

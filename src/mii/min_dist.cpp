@@ -1,0 +1,96 @@
+#include "mii/min_dist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ims::mii {
+
+MinDistMatrix::MinDistMatrix(const graph::DepGraph& graph,
+                             std::vector<graph::VertexId> vertices, int ii,
+                             support::Counters* counters)
+    : vertices_(std::move(vertices)), ii_(ii)
+{
+    assert(ii >= 1);
+    indexOf_.assign(graph.numVertices(), -1);
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+        assert(indexOf_[vertices_[i]] == -1 && "duplicate vertex in subset");
+        indexOf_[vertices_[i]] = static_cast<int>(i);
+    }
+    compute(graph, counters);
+}
+
+MinDistMatrix::MinDistMatrix(const graph::DepGraph& graph, int ii,
+                             support::Counters* counters)
+    : MinDistMatrix(graph,
+                    [&graph] {
+                        std::vector<graph::VertexId> all(
+                            graph.numVertices());
+                        std::iota(all.begin(), all.end(), 0);
+                        return all;
+                    }(),
+                    ii, counters)
+{
+}
+
+void
+MinDistMatrix::compute(const graph::DepGraph& graph,
+                       support::Counters* counters)
+{
+    support::bump(counters, &support::Counters::minDistInvocations);
+    const std::size_t n = vertices_.size();
+    matrix_.assign(n * n, kMinusInf);
+
+    // Initialise from edges internal to the subset.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (graph::EdgeId eid : graph.outEdges(vertices_[i])) {
+            const graph::DepEdge& edge = graph.edge(eid);
+            const int j = indexOf_[edge.to];
+            if (j < 0)
+                continue;
+            const std::int64_t bound =
+                static_cast<std::int64_t>(edge.delay) -
+                static_cast<std::int64_t>(ii_) * edge.distance;
+            auto& cell = matrix_[i * n + j];
+            cell = std::max(cell, bound);
+        }
+    }
+
+    // All-pairs longest path closure.
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::int64_t ik = matrix_[i * n + k];
+            if (ik == kMinusInf)
+                continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                support::bump(counters,
+                              &support::Counters::minDistInnerSteps);
+                const std::int64_t kj = matrix_[k * n + j];
+                if (kj == kMinusInf)
+                    continue;
+                auto& cell = matrix_[i * n + j];
+                cell = std::max(cell, ik + kj);
+            }
+        }
+    }
+}
+
+std::int64_t
+MinDistMatrix::atVertex(graph::VertexId u, graph::VertexId v) const
+{
+    const int i = indexOf_[u];
+    const int j = indexOf_[v];
+    assert(i >= 0 && j >= 0 && "vertex not part of this MinDist subset");
+    return at(i, j);
+}
+
+std::int64_t
+MinDistMatrix::maxDiagonal() const
+{
+    std::int64_t best = kMinusInf;
+    for (int i = 0; i < size(); ++i)
+        best = std::max(best, at(i, i));
+    return best;
+}
+
+} // namespace ims::mii

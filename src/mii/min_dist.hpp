@@ -1,0 +1,77 @@
+#ifndef IMS_MII_MIN_DIST_HPP
+#define IMS_MII_MIN_DIST_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "support/counters.hpp"
+
+namespace ims::mii {
+
+/**
+ * The MinDist matrix of §2.2: entry [i][j] is the minimum permissible
+ * interval between the schedule time of operation i and operation j of the
+ * same iteration, for a given candidate II; -infinity when no dependence
+ * path connects them.
+ *
+ * Initialisation: for every edge e: i -> j,
+ *   MinDist[i][j] >= Delay(e) - II * Distance(e),
+ * then closure with the O(N^3) all-pairs longest-path (Floyd-Warshall)
+ * step. A positive diagonal entry means an operation would have to be
+ * scheduled after itself: the candidate II is infeasible.
+ */
+class MinDistMatrix
+{
+  public:
+    /** Sentinel for "no path". */
+    static constexpr std::int64_t kMinusInf =
+        std::numeric_limits<std::int64_t>::min() / 4;
+
+    /**
+     * Compute over the subgraph induced by `vertices` (edges with both
+     * endpoints inside), for candidate initiation interval `ii` (>= 1).
+     */
+    MinDistMatrix(const graph::DepGraph& graph,
+                  std::vector<graph::VertexId> vertices, int ii,
+                  support::Counters* counters = nullptr);
+
+    /** Compute over the whole graph including START/STOP. */
+    MinDistMatrix(const graph::DepGraph& graph, int ii,
+                  support::Counters* counters = nullptr);
+
+    int size() const { return static_cast<int>(vertices_.size()); }
+    int ii() const { return ii_; }
+
+    /** Entry by subset index. */
+    std::int64_t
+    at(int i, int j) const
+    {
+        return matrix_[static_cast<std::size_t>(i) * vertices_.size() + j];
+    }
+
+    /** Entry by graph vertex id (must be members of the subset). */
+    std::int64_t atVertex(graph::VertexId u, graph::VertexId v) const;
+
+    /** Largest diagonal entry (kMinusInf when none is connected). */
+    std::int64_t maxDiagonal() const;
+
+    /** True when no diagonal entry is positive (the II is feasible). */
+    bool feasible() const { return maxDiagonal() <= 0; }
+
+    /** The vertex subset, in matrix order. */
+    const std::vector<graph::VertexId>& vertices() const { return vertices_; }
+
+  private:
+    void compute(const graph::DepGraph& graph, support::Counters* counters);
+
+    std::vector<graph::VertexId> vertices_;
+    std::vector<int> indexOf_; // graph vertex -> subset index or -1
+    int ii_;
+    std::vector<std::int64_t> matrix_;
+};
+
+} // namespace ims::mii
+
+#endif // IMS_MII_MIN_DIST_HPP

@@ -1,0 +1,139 @@
+#include "mii/rec_mii.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/circuits.hpp"
+#include "mii/min_dist.hpp"
+#include "support/error.hpp"
+
+namespace ims::mii {
+
+namespace {
+
+/**
+ * Ceiling on any useful candidate II for the given vertex subset: once II
+ * is at least the sum of positive edge delays, every circuit with a
+ * positive distance satisfies Delay(c) - II * Distance(c) <= 0. If the
+ * subset is still infeasible there, it contains a zero-distance cycle.
+ */
+std::int64_t
+candidateCap(const graph::DepGraph& graph,
+             const std::vector<graph::VertexId>& vertices)
+{
+    std::int64_t cap = 1;
+    std::vector<bool> member(graph.numVertices(), false);
+    for (graph::VertexId v : vertices)
+        member[v] = true;
+    for (const auto& edge : graph.edges()) {
+        if (member[edge.from] && member[edge.to] && edge.delay > 0)
+            cap += edge.delay;
+    }
+    return cap;
+}
+
+/**
+ * Smallest II >= `start` for which the subset's MinDist diagonal is
+ * non-positive, using the paper's protocol: advance by a doubling
+ * increment until feasible, then binary-search between the last
+ * unsuccessful and first successful candidates.
+ */
+int
+searchFeasibleIi(const graph::DepGraph& graph,
+                 const std::vector<graph::VertexId>& vertices, int start,
+                 support::Counters* counters)
+{
+    auto feasible = [&](int ii) {
+        return MinDistMatrix(graph, vertices, ii, counters).feasible();
+    };
+
+    const int cap = static_cast<int>(
+        std::min<std::int64_t>(candidateCap(graph, vertices), INT32_MAX / 2));
+    if (feasible(start))
+        return start;
+
+    int last_bad = start;
+    int step = 1;
+    int candidate = start;
+    do {
+        support::check(candidate < cap,
+                       "dependence cycle with zero iteration distance: no "
+                       "initiation interval is feasible");
+        last_bad = candidate;
+        candidate = std::min(candidate + step, cap);
+        step *= 2;
+    } while (!feasible(candidate));
+
+    // Binary search in (last_bad, candidate].
+    int lo = last_bad + 1;
+    int hi = candidate;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (feasible(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+} // namespace
+
+int
+computeRecMiiPerScc(const graph::DepGraph& graph,
+                    const graph::SccResult& sccs, int start_candidate,
+                    support::Counters* counters)
+{
+    int candidate = std::max(1, start_candidate);
+    for (const auto& component : sccs.components()) {
+        // Pseudo vertices and singletons without a reflexive edge cannot
+        // constrain the II; skip them without invoking ComputeMinDist.
+        if (component.size() == 1) {
+            const graph::VertexId v = component.front();
+            if (graph.isPseudo(v))
+                continue;
+            bool has_self_edge = false;
+            for (graph::EdgeId eid : graph.outEdges(v))
+                has_self_edge |= graph.edge(eid).to == v;
+            if (!has_self_edge)
+                continue;
+        }
+        candidate = searchFeasibleIi(graph, component, candidate, counters);
+    }
+    return candidate;
+}
+
+int
+computeRecMiiWholeGraph(const graph::DepGraph& graph, int start_candidate,
+                        support::Counters* counters)
+{
+    std::vector<graph::VertexId> real_vertices(graph.numOps());
+    std::iota(real_vertices.begin(), real_vertices.end(), 0);
+    return searchFeasibleIi(graph, real_vertices,
+                            std::max(1, start_candidate), counters);
+}
+
+int
+computeRecMiiFromCircuits(const graph::DepGraph& graph,
+                          support::Counters* counters)
+{
+    (void)counters;
+    int rec_mii = 1;
+    for (const auto& circuit : graph::enumerateElementaryCircuits(graph)) {
+        const int delay = graph::circuitDelay(graph, circuit);
+        const int distance = graph::circuitDistance(graph, circuit);
+        if (distance == 0) {
+            support::check(delay <= 0,
+                           "dependence cycle with zero iteration distance: "
+                           "no initiation interval is feasible");
+            continue;
+        }
+        // Smallest II with Delay(c) - II * Distance(c) <= 0.
+        const int bound = static_cast<int>(
+            (static_cast<std::int64_t>(delay) + distance - 1) / distance);
+        rec_mii = std::max(rec_mii, bound);
+    }
+    return rec_mii;
+}
+
+} // namespace ims::mii

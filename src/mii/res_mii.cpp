@@ -1,0 +1,61 @@
+#include "mii/res_mii.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ims::mii {
+
+ResMiiResult
+computeResMii(const ir::Loop& loop, const machine::MachineModel& machine,
+              support::Counters* counters)
+{
+    ResMiiResult result;
+    result.usage.assign(machine.numResources(), 0);
+    result.chosenAlternative.assign(loop.size(), 0);
+
+    // Sort operations by increasing number of alternatives. The paper uses
+    // a radix sort for O(N); alternative counts are tiny, so a counting
+    // sort over [1, maxAlts] keeps the same bound.
+    std::vector<ir::OpId> order(loop.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](ir::OpId a, ir::OpId b) {
+                         return machine.numAlternatives(
+                                    loop.operation(a).opcode) <
+                                machine.numAlternatives(
+                                    loop.operation(b).opcode);
+                     });
+
+    for (ir::OpId id : order) {
+        const auto& info = machine.info(loop.operation(id).opcode);
+        int best_alt = 0;
+        int best_peak = -1;
+        for (std::size_t alt = 0; alt < info.alternatives.size(); ++alt) {
+            // Peak usage if this alternative were chosen.
+            std::vector<int> trial = result.usage;
+            for (const auto& use : info.alternatives[alt].table.uses()) {
+                ++trial[use.resource];
+                support::bump(counters,
+                              &support::Counters::resMiiInspections);
+            }
+            const int peak = *std::max_element(trial.begin(), trial.end());
+            if (best_peak < 0 || peak < best_peak) {
+                best_peak = peak;
+                best_alt = static_cast<int>(alt);
+            }
+        }
+        result.chosenAlternative[id] = best_alt;
+        for (const auto& use : info.alternatives[best_alt].table.uses())
+            ++result.usage[use.resource];
+    }
+
+    const auto max_it =
+        std::max_element(result.usage.begin(), result.usage.end());
+    result.criticalResource = static_cast<machine::ResourceId>(
+        std::distance(result.usage.begin(), max_it));
+    result.resMii = std::max(1, max_it == result.usage.end() ? 1 : *max_it);
+    return result;
+}
+
+} // namespace ims::mii

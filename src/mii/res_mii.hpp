@@ -1,0 +1,38 @@
+#ifndef IMS_MII_RES_MII_HPP
+#define IMS_MII_RES_MII_HPP
+
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "support/counters.hpp"
+
+namespace ims::mii {
+
+/** Outcome of the resource-constrained MII computation (§2.1). */
+struct ResMiiResult
+{
+    /** The resource-constrained lower bound on II (>= 1). */
+    int resMii = 1;
+    /** Final usage count per machine resource. */
+    std::vector<int> usage;
+    /** Alternative chosen for each operation during the bin-packing. */
+    std::vector<int> chosenAlternative;
+    /** Index of the most heavily used (critical) resource. */
+    machine::ResourceId criticalResource = 0;
+};
+
+/**
+ * Approximate ResMII per §2.1: exact computation is a bin-packing problem
+ * (exponential), so operations are sorted by increasing number of
+ * alternatives ("degrees of freedom") and greedily assigned, each to the
+ * alternative that yields the lowest partial ResMII; the final usage count
+ * of the most heavily used resource is the ResMII.
+ */
+ResMiiResult computeResMii(const ir::Loop& loop,
+                           const machine::MachineModel& machine,
+                           support::Counters* counters = nullptr);
+
+} // namespace ims::mii
+
+#endif // IMS_MII_RES_MII_HPP

@@ -1,0 +1,47 @@
+#ifndef IMS_SCHED_HEIGHT_R_HPP
+#define IMS_SCHED_HEIGHT_R_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "graph/scc.hpp"
+#include "support/counters.hpp"
+
+namespace ims::sched {
+
+/**
+ * The height-based priority of Figure 5(a), extended for inter-iteration
+ * dependences:
+ *
+ *   HeightR(P) = 0 if P is STOP, else
+ *                max over successors Q of
+ *                    HeightR(Q) + Delay(P,Q) - II * Distance(P,Q).
+ *
+ * Computed numerically for a given II (the paper argues symbolic
+ * evaluation does not pay off, §4.3) by sweeping the SCC condensation in
+ * reverse topological order and relaxing to a fixed point within each
+ * component — valid because II >= RecMII guarantees no positive-weight
+ * cycle. Returns one value per graph vertex (START and STOP included).
+ *
+ * @throws support::Error if a positive-weight cycle is detected (II below
+ *         the RecMII).
+ */
+std::vector<std::int64_t> computeHeightR(const graph::DepGraph& graph,
+                                         const graph::SccResult& sccs,
+                                         int ii,
+                                         support::Counters* counters =
+                                             nullptr);
+
+/**
+ * Acyclic height used by the baseline list scheduler: the same recurrence
+ * restricted to intra-iteration (distance 0) edges, which always form a
+ * DAG.
+ */
+std::vector<std::int64_t>
+computeAcyclicHeight(const graph::DepGraph& graph,
+                     support::Counters* counters = nullptr);
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_HEIGHT_R_HPP

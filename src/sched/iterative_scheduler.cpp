@@ -1,0 +1,261 @@
+#include "sched/iterative_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sched/partial_schedule.hpp"
+
+namespace ims::sched {
+
+namespace {
+
+/**
+ * Working state of one attempt; separated from IterativeScheduler so the
+ * scheduler object itself stays reusable across IIs.
+ */
+class Attempt
+{
+  public:
+    Attempt(const ir::Loop& loop, const machine::MachineModel& machine,
+            const graph::DepGraph& graph,
+            const std::vector<std::int64_t>& priority,
+            const IterativeScheduleOptions& options, int ii,
+            support::Counters* counters)
+        : graph_(graph),
+          priority_(priority),
+          options_(options),
+          ii_(ii),
+          counters_(counters),
+          schedule_(graph, loop, machine, ii),
+          unscheduled_(graph.numVertices(), true)
+    {
+    }
+
+    /** Runs Figure 3's main loop. Returns true if fully scheduled. */
+    bool
+    run(std::int64_t budget)
+    {
+        if (!schedule_.allVerticesPlaceable())
+            return false;
+
+        // Schedule START at time 0.
+        schedule_.place(graph_.start(), 0, 0);
+        unscheduled_[graph_.start()] = false;
+        numUnscheduled_ = graph_.numVertices() - 1;
+        --budget;
+        ++stepsUsed_;
+        support::bump(counters_, &support::Counters::scheduleSteps);
+
+        while (numUnscheduled_ > 0 && budget > 0) {
+            const graph::VertexId op = highestPriorityOperation();
+            const int estart = calculateEarlyStart(op);
+            const int min_time = estart;
+            const int max_time = min_time + ii_ - 1;
+            const auto [slot, alternative] =
+                findTimeSlot(op, min_time, max_time);
+
+            TraceEvent event;
+            if (options_.trace != nullptr) {
+                event.step = static_cast<int>(stepsUsed_);
+                event.op = op;
+                event.priority = priority_[op];
+                event.estart = estart;
+                event.minTime = min_time;
+                event.maxTime = max_time;
+                event.slot = slot;
+                event.forced = alternative < 0;
+                displacedThisStep_.clear();
+            }
+
+            scheduleAt(op, slot, alternative);
+            --budget;
+            ++stepsUsed_;
+            support::bump(counters_, &support::Counters::scheduleSteps);
+
+            if (options_.trace != nullptr) {
+                event.alternative = schedule_.alternativeOf(op);
+                event.displaced = displacedThisStep_;
+                options_.trace->push_back(std::move(event));
+            }
+        }
+        return numUnscheduled_ == 0;
+    }
+
+    std::int64_t stepsUsed() const { return stepsUsed_; }
+    std::int64_t unschedules() const { return unschedules_; }
+    const PartialSchedule& schedule() const { return schedule_; }
+
+  private:
+    graph::VertexId
+    highestPriorityOperation() const
+    {
+        graph::VertexId best = -1;
+        for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
+            if (!unscheduled_[v])
+                continue;
+            if (best < 0 || priority_[v] > priority_[best])
+                best = v;
+        }
+        assert(best >= 0);
+        return best;
+    }
+
+    /** Figure 5(b): only currently scheduled predecessors constrain. */
+    int
+    calculateEarlyStart(graph::VertexId op) const
+    {
+        std::int64_t estart = 0;
+        for (graph::EdgeId eid : graph_.inEdges(op)) {
+            support::bump(counters_,
+                          &support::Counters::estartPredecessorVisits);
+            const graph::DepEdge& edge = graph_.edge(eid);
+            if (edge.from == op || !schedule_.isScheduled(edge.from))
+                continue;
+            const std::int64_t bound =
+                schedule_.timeOf(edge.from) + edge.delay -
+                static_cast<std::int64_t>(ii_) * edge.distance;
+            estart = std::max(estart, std::max<std::int64_t>(0, bound));
+        }
+        return static_cast<int>(estart);
+    }
+
+    /**
+     * Figure 4. Returns (slot, alternative); alternative is -1 when no
+     * conflict-free slot exists (forced placement).
+     */
+    std::pair<int, int>
+    findTimeSlot(graph::VertexId op, int min_time, int max_time)
+    {
+        for (int t = min_time; t <= max_time; ++t) {
+            support::bump(counters_,
+                          &support::Counters::findTimeSlotProbes);
+            const int alternative = schedule_.fittingAlternative(op, t);
+            if (alternative >= 0)
+                return {t, alternative};
+        }
+        // No conflict-free slot: pick per the forward-progress rule.
+        int slot;
+        if (!options_.forwardProgressRule) {
+            slot = min_time;
+        } else if (schedule_.neverScheduled(op) ||
+                   min_time > schedule_.prevScheduleTime(op)) {
+            slot = min_time;
+        } else {
+            slot = schedule_.prevScheduleTime(op) + 1;
+        }
+        return {slot, -1};
+    }
+
+    /** §3.4's Schedule(): place `op`, displacing whatever conflicts. */
+    void
+    scheduleAt(graph::VertexId op, int slot, int alternative)
+    {
+        if (alternative < 0) {
+            // Forced placement: displace every operation that conflicts
+            // with the use of any alternative at this slot, then place
+            // using the first usable alternative.
+            const auto& alternatives = schedule_.alternativesOf(op);
+            for (const auto& alt : alternatives) {
+                if (ModuloReservationTable::selfConflicts(alt.table, ii_))
+                    continue;
+                for (int victim :
+                     schedule_.mrt().conflictingOps(alt.table, slot)) {
+                    displace(victim);
+                }
+            }
+            alternative = schedule_.fittingAlternative(op, slot);
+            assert(alternative >= 0 &&
+                   "displacement must free some alternative");
+        }
+        schedule_.place(op, slot, alternative);
+        unscheduled_[op] = false;
+        --numUnscheduled_;
+
+        // Displace successors whose dependence constraints are violated.
+        // (Predecessor constraints hold by construction: slot >= Estart.)
+        for (graph::EdgeId eid : graph_.outEdges(op)) {
+            const graph::DepEdge& edge = graph_.edge(eid);
+            if (edge.to == op || !schedule_.isScheduled(edge.to))
+                continue;
+            const std::int64_t earliest =
+                static_cast<std::int64_t>(slot) + edge.delay -
+                static_cast<std::int64_t>(ii_) * edge.distance;
+            if (schedule_.timeOf(edge.to) < earliest)
+                displace(edge.to);
+        }
+    }
+
+    void
+    displace(graph::VertexId victim)
+    {
+        assert(victim != graph_.start() && "START is never displaced");
+        if (!schedule_.isScheduled(victim))
+            return;
+        schedule_.remove(victim);
+        unscheduled_[victim] = true;
+        ++numUnscheduled_;
+        ++unschedules_;
+        if (options_.trace != nullptr)
+            displacedThisStep_.push_back(victim);
+        support::bump(counters_, &support::Counters::unscheduleSteps);
+    }
+
+    const graph::DepGraph& graph_;
+    const std::vector<std::int64_t>& priority_;
+    const IterativeScheduleOptions& options_;
+    int ii_;
+    support::Counters* counters_;
+    PartialSchedule schedule_;
+    std::vector<bool> unscheduled_;
+    std::vector<graph::VertexId> displacedThisStep_;
+    int numUnscheduled_ = 0;
+    std::int64_t stepsUsed_ = 0;
+    std::int64_t unschedules_ = 0;
+};
+
+} // namespace
+
+IterativeScheduler::IterativeScheduler(const ir::Loop& loop,
+                                       const machine::MachineModel& machine,
+                                       const graph::DepGraph& graph,
+                                       const graph::SccResult& sccs,
+                                       IterativeScheduleOptions options,
+                                       support::Counters* counters)
+    : loop_(loop),
+      machine_(machine),
+      graph_(graph),
+      sccs_(sccs),
+      options_(options),
+      counters_(counters)
+{
+    assert(loop.size() == graph.numOps());
+}
+
+std::optional<ScheduleResult>
+IterativeScheduler::trySchedule(int ii, std::int64_t budget)
+{
+    const auto priority =
+        computePriorities(graph_, sccs_, ii, options_.priority,
+                          options_.randomSeed, counters_);
+
+    Attempt attempt(loop_, machine_, graph_, priority, options_, ii,
+                    counters_);
+    const bool success = attempt.run(budget);
+    if (!success)
+        return std::nullopt;
+
+    ScheduleResult result;
+    result.ii = ii;
+    result.times.resize(graph_.numOps());
+    result.alternatives.resize(graph_.numOps());
+    for (graph::VertexId v = 0; v < graph_.numOps(); ++v) {
+        result.times[v] = attempt.schedule().timeOf(v);
+        result.alternatives[v] = attempt.schedule().alternativeOf(v);
+    }
+    result.scheduleLength = attempt.schedule().timeOf(graph_.stop());
+    result.stepsUsed = attempt.stepsUsed();
+    result.unschedules = attempt.unschedules();
+    return result;
+}
+
+} // namespace ims::sched

@@ -1,0 +1,108 @@
+#ifndef IMS_SCHED_ITERATIVE_SCHEDULER_HPP
+#define IMS_SCHED_ITERATIVE_SCHEDULER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "graph/scc.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "sched/priority.hpp"
+#include "support/counters.hpp"
+
+namespace ims::sched {
+
+/**
+ * One operation-scheduling step, for tracing/visualising the algorithm
+ * (the moving parts of Figures 2-5: the chosen operation and its
+ * priority, the Estart computation, the FindTimeSlot range and outcome,
+ * and any displacements).
+ */
+struct TraceEvent
+{
+    int step = 0;
+    graph::VertexId op = -1;
+    std::int64_t priority = 0;
+    int estart = 0;
+    int minTime = 0;
+    int maxTime = 0;
+    /** Chosen slot. */
+    int slot = 0;
+    /** Chosen alternative. */
+    int alternative = 0;
+    /** True when no conflict-free slot existed (forced placement). */
+    bool forced = false;
+    /** Operations displaced by this placement (resource or dependence). */
+    std::vector<graph::VertexId> displaced;
+};
+
+/** Options for one iterative-scheduling attempt. */
+struct IterativeScheduleOptions
+{
+    PriorityScheme priority = PriorityScheme::kHeightR;
+    /**
+     * The forward-progress rule of §3.4: when re-placing a previously
+     * scheduled operation whose Estart does not exceed its previous slot,
+     * schedule it one cycle later than before so two operations cannot
+     * displace each other endlessly. Disabling this (ablation) always
+     * chooses Estart.
+     */
+    bool forwardProgressRule = true;
+    /** Seed for PriorityScheme::kRandom. */
+    std::uint64_t randomSeed = 1;
+    /** When non-null, every scheduling step is appended here. */
+    std::vector<TraceEvent>* trace = nullptr;
+};
+
+/** A complete modulo schedule for one II. */
+struct ScheduleResult
+{
+    int ii = 0;
+    /** Issue time per loop operation. */
+    std::vector<int> times;
+    /** Chosen machine alternative per loop operation. */
+    std::vector<int> alternatives;
+    /** Schedule time of STOP: the schedule length SL for one iteration. */
+    int scheduleLength = 0;
+    /** Operation scheduling steps consumed (the paper's budget unit). */
+    std::int64_t stepsUsed = 0;
+    /** Operations displaced during the attempt. */
+    std::int64_t unschedules = 0;
+};
+
+/**
+ * One invocation of the paper's IterativeSchedule (Figure 3): attempt to
+ * schedule `loop` at initiation interval `ii` within `budget` operation
+ * scheduling steps. Returns the schedule on success, std::nullopt when the
+ * budget is exhausted (or no alternative of some operation is usable at
+ * this II).
+ *
+ * The dependence graph and SCCs must correspond to `loop` on `machine`.
+ */
+class IterativeScheduler
+{
+  public:
+    IterativeScheduler(const ir::Loop& loop,
+                       const machine::MachineModel& machine,
+                       const graph::DepGraph& graph,
+                       const graph::SccResult& sccs,
+                       IterativeScheduleOptions options = {},
+                       support::Counters* counters = nullptr);
+
+    /** Attempt to find a schedule at `ii` within `budget` steps. */
+    std::optional<ScheduleResult> trySchedule(int ii, std::int64_t budget);
+
+  private:
+    const ir::Loop& loop_;
+    const machine::MachineModel& machine_;
+    const graph::DepGraph& graph_;
+    const graph::SccResult& sccs_;
+    IterativeScheduleOptions options_;
+    support::Counters* counters_;
+};
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_ITERATIVE_SCHEDULER_HPP

@@ -1,0 +1,113 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <utility>
+
+#include "sched/height_r.hpp"
+
+namespace ims::sched {
+
+namespace {
+
+/** Unbounded (linear) schedule reservation table. */
+class LinearReservationTable
+{
+  public:
+    bool
+    conflicts(const machine::ReservationTable& table, int time) const
+    {
+        for (const auto& use : table.uses()) {
+            if (cells_.count({time + use.time, use.resource}) != 0)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    reserve(const machine::ReservationTable& table, int time)
+    {
+        for (const auto& use : table.uses()) {
+            [[maybe_unused]] const bool inserted =
+                cells_.insert({time + use.time, use.resource}).second;
+            assert(inserted);
+        }
+    }
+
+  private:
+    std::set<std::pair<int, machine::ResourceId>> cells_;
+};
+
+} // namespace
+
+ListScheduleResult
+listSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+             const graph::DepGraph& graph, support::Counters* counters)
+{
+    const auto height = computeAcyclicHeight(graph, counters);
+
+    // Operation scheduling in decreasing height order; distance-0 edges
+    // only. Since predecessors always have strictly earlier... no — equal
+    // heights are possible, so process in a topological-compatible order:
+    // sort by (height desc, id asc) and schedule each op at the first
+    // conflict-free slot at or after its Estart over already-placed
+    // predecessors. Every predecessor of an op has strictly greater
+    // height + delay, hence is placed earlier in this order.
+    std::vector<graph::VertexId> order;
+    for (graph::VertexId v = 0; v < graph.numVertices(); ++v)
+        order.push_back(v);
+    std::sort(order.begin(), order.end(),
+              [&](graph::VertexId a, graph::VertexId b) {
+                  return height[a] != height[b] ? height[a] > height[b]
+                                                : a < b;
+              });
+
+    std::vector<int> time(graph.numVertices(), 0);
+    std::vector<int> alternative(graph.numVertices(), 0);
+    std::vector<bool> placed(graph.numVertices(), false);
+    LinearReservationTable reservations;
+
+    for (graph::VertexId v : order) {
+        // Estart over placed predecessors (distance-0 edges only).
+        int estart = 0;
+        for (graph::EdgeId eid : graph.inEdges(v)) {
+            const graph::DepEdge& edge = graph.edge(eid);
+            if (edge.distance != 0 || !placed[edge.from])
+                continue;
+            estart = std::max(estart, time[edge.from] + edge.delay);
+        }
+        if (graph.isPseudo(v)) {
+            time[v] = estart;
+            placed[v] = true;
+            continue;
+        }
+        const auto& alternatives =
+            machine.info(loop.operation(v).opcode).alternatives;
+        int t = estart;
+        int chosen = -1;
+        while (chosen < 0) {
+            for (std::size_t alt = 0; alt < alternatives.size(); ++alt) {
+                if (!reservations.conflicts(alternatives[alt].table, t)) {
+                    chosen = static_cast<int>(alt);
+                    break;
+                }
+            }
+            if (chosen < 0)
+                ++t;
+        }
+        reservations.reserve(alternatives[chosen].table, t);
+        time[v] = t;
+        alternative[v] = chosen;
+        placed[v] = true;
+    }
+
+    ListScheduleResult result;
+    result.times.assign(time.begin(), time.begin() + graph.numOps());
+    result.alternatives.assign(alternative.begin(),
+                               alternative.begin() + graph.numOps());
+    result.scheduleLength = time[graph.stop()];
+    return result;
+}
+
+} // namespace ims::sched

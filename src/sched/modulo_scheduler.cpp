@@ -1,0 +1,69 @@
+#include "sched/modulo_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/graph_builder.hpp"
+#include "mii/mii.hpp"
+#include "support/error.hpp"
+
+namespace ims::sched {
+
+ModuloScheduleOutcome
+moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+               const graph::DepGraph& graph, const graph::SccResult& sccs,
+               const ModuloScheduleOptions& options,
+               support::Counters* counters)
+{
+    support::check(options.budgetRatio > 0, "BudgetRatio must be positive");
+
+    const mii::MiiResult mii = mii::computeMii(loop, machine, graph, sccs,
+                                               counters);
+
+    // NumberOfOperations in Figure 2/3 counts the dependence-graph
+    // operations including the START/STOP pseudo-ops (operation 1 is
+    // START), so a BudgetRatio of 1 affords exactly one scheduling step
+    // per vertex.
+    const std::int64_t budget = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(options.budgetRatio * (loop.size() + 2))));
+
+    IterativeScheduler scheduler(loop, machine, graph, sccs, options.inner,
+                                 counters);
+
+    ModuloScheduleOutcome outcome;
+    outcome.resMii = mii.resMii;
+    outcome.mii = mii.mii;
+
+    for (int ii = mii.mii; ii <= mii.mii + options.maxIiIncrease; ++ii) {
+        ++outcome.attempts;
+        auto result = scheduler.trySchedule(ii, budget);
+        if (result) {
+            outcome.totalSteps += result->stepsUsed;
+            outcome.totalUnschedules += result->unschedules;
+            outcome.schedule = std::move(*result);
+            return outcome;
+        }
+        // A failed attempt consumes its entire budget (§4.3:
+        // "IterativeSchedule, on all but the last, successful invocation,
+        // expends its entire budget each time") — except when the II is
+        // structurally infeasible, which costs nothing.
+        outcome.totalSteps += budget;
+    }
+    throw support::Error("no modulo schedule found for loop '" +
+                         loop.name() + "' within " +
+                         std::to_string(options.maxIiIncrease) +
+                         " IIs above the MII");
+}
+
+ModuloScheduleOutcome
+moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+               const ModuloScheduleOptions& options,
+               support::Counters* counters)
+{
+    const graph::DepGraph graph = graph::buildDepGraph(loop, machine);
+    const graph::SccResult sccs = graph::findSccs(graph);
+    return moduloSchedule(loop, machine, graph, sccs, options, counters);
+}
+
+} // namespace ims::sched

@@ -1,0 +1,75 @@
+#ifndef IMS_SCHED_MODULO_SCHEDULER_HPP
+#define IMS_SCHED_MODULO_SCHEDULER_HPP
+
+#include <cstdint>
+
+#include "graph/dep_graph.hpp"
+#include "graph/scc.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "sched/iterative_scheduler.hpp"
+#include "support/counters.hpp"
+
+namespace ims::sched {
+
+/** Options for the full ModuloSchedule driver (Figure 2). */
+struct ModuloScheduleOptions
+{
+    /**
+     * "BudgetRatio is the ratio of the maximum number of operation
+     * scheduling steps attempted (before giving up and trying a larger
+     * initiation interval) to the number of operations in the loop." The
+     * paper's experiments use 6 for the quality study and recommend 2
+     * (§4.3/§5); 2 is the default here.
+     */
+    double budgetRatio = 2.0;
+    IterativeScheduleOptions inner;
+    /** Safety bound on II above the MII before giving up entirely. */
+    int maxIiIncrease = 4096;
+};
+
+/** Outcome of modulo scheduling a loop. */
+struct ModuloScheduleOutcome
+{
+    ScheduleResult schedule;
+    /** Resource-constrained lower bound. */
+    int resMii = 1;
+    /** MII = max(ResMII, RecMII) as computed by the production protocol. */
+    int mii = 1;
+    /** Number of candidate IIs attempted (>= 1). */
+    int attempts = 0;
+    /** Scheduling steps summed over all attempts, failed ones included. */
+    std::int64_t totalSteps = 0;
+    /** Unschedule steps summed over all attempts. */
+    std::int64_t totalUnschedules = 0;
+};
+
+/**
+ * The paper's procedure ModuloSchedule (Figure 2): compute the MII, then
+ * invoke IterativeSchedule with successively larger candidate IIs, each
+ * with a budget of BudgetRatio * NumberOfOperations scheduling steps,
+ * until a legal modulo schedule is found.
+ *
+ * @throws support::Error if no schedule is found within
+ *         options.maxIiIncrease above the MII (in practice an acyclic
+ *         graph is always schedulable once II reaches the list-schedule
+ *         length, so this indicates a pathological input).
+ */
+ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
+                                     const machine::MachineModel& machine,
+                                     const graph::DepGraph& graph,
+                                     const graph::SccResult& sccs,
+                                     const ModuloScheduleOptions& options =
+                                         {},
+                                     support::Counters* counters = nullptr);
+
+/** Convenience overload: builds the dependence graph and SCCs itself. */
+ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
+                                     const machine::MachineModel& machine,
+                                     const ModuloScheduleOptions& options =
+                                         {},
+                                     support::Counters* counters = nullptr);
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_MODULO_SCHEDULER_HPP

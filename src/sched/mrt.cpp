@@ -1,0 +1,98 @@
+#include "sched/mrt.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ims::sched {
+
+ModuloReservationTable::ModuloReservationTable(int ii, int num_resources,
+                                               int num_ops)
+    : ii_(ii),
+      numResources_(num_resources),
+      cells_(static_cast<std::size_t>(ii) * num_resources, kFree),
+      held_(num_ops)
+{
+    assert(ii >= 1);
+}
+
+bool
+ModuloReservationTable::conflicts(const machine::ReservationTable& table,
+                                  int time) const
+{
+    for (const auto& use : table.uses()) {
+        const int row = rowOf(time + use.time);
+        if (owner(row, use.resource) != kFree)
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+ModuloReservationTable::conflictingOps(const machine::ReservationTable& table,
+                                       int time) const
+{
+    std::vector<int> ops;
+    for (const auto& use : table.uses()) {
+        const int row = rowOf(time + use.time);
+        const int holder = owner(row, use.resource);
+        if (holder != kFree)
+            ops.push_back(holder);
+    }
+    std::sort(ops.begin(), ops.end());
+    ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+    return ops;
+}
+
+void
+ModuloReservationTable::reserve(int op,
+                                const machine::ReservationTable& table,
+                                int time)
+{
+    assert(op >= 0 && op < static_cast<int>(held_.size()));
+    assert(held_[op].empty() && "operation already holds reservations");
+    for (const auto& use : table.uses()) {
+        const int row = rowOf(time + use.time);
+        const std::size_t cell =
+            static_cast<std::size_t>(row) * numResources_ + use.resource;
+        assert(cells_[cell] == kFree && "double booking in MRT");
+        cells_[cell] = op;
+        held_[op].push_back(static_cast<int>(cell));
+    }
+}
+
+void
+ModuloReservationTable::release(int op)
+{
+    assert(op >= 0 && op < static_cast<int>(held_.size()));
+    for (int cell : held_[op]) {
+        assert(cells_[cell] == op);
+        cells_[cell] = kFree;
+    }
+    held_[op].clear();
+}
+
+bool
+ModuloReservationTable::selfConflicts(const machine::ReservationTable& table,
+                                      int ii)
+{
+    const auto& uses = table.uses();
+    for (std::size_t i = 0; i < uses.size(); ++i) {
+        for (std::size_t j = i + 1; j < uses.size(); ++j) {
+            if (uses[i].resource == uses[j].resource &&
+                (uses[j].time - uses[i].time) % ii == 0) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+int
+ModuloReservationTable::reservedCellCount() const
+{
+    return static_cast<int>(
+        std::count_if(cells_.begin(), cells_.end(),
+                      [](int owner) { return owner != kFree; }));
+}
+
+} // namespace ims::sched

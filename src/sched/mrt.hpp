@@ -1,0 +1,90 @@
+#ifndef IMS_SCHED_MRT_HPP
+#define IMS_SCHED_MRT_HPP
+
+#include <vector>
+
+#include "machine/reservation_table.hpp"
+
+namespace ims::sched {
+
+/**
+ * The modulo reservation table (MRT) of §3.1: a schedule reservation table
+ * of exactly II rows. Scheduling an operation at time T that uses resource
+ * R at relative time t records the reservation at row (T + t) mod II, so
+ * "a conflict at time T implies conflicts at all times T + k*II".
+ *
+ * Each cell remembers which operation owns it, so the scheduler can both
+ * test for conflicts and determine the set of operations to displace
+ * (§3.4).
+ */
+class ModuloReservationTable
+{
+  public:
+    /** Sentinel owner for a free cell. */
+    static constexpr int kFree = -1;
+
+    ModuloReservationTable(int ii, int num_resources, int num_ops);
+
+    int ii() const { return ii_; }
+
+    /**
+     * True if placing `table` at issue time `time` collides with any
+     * existing reservation.
+     */
+    bool conflicts(const machine::ReservationTable& table, int time) const;
+
+    /**
+     * Owners of all cells that placing `table` at `time` would collide
+     * with (each owner listed once, ascending).
+     */
+    std::vector<int> conflictingOps(const machine::ReservationTable& table,
+                                    int time) const;
+
+    /**
+     * Record that `op` issued at `time` occupies `table`'s cells. All
+     * cells must currently be free (checked).
+     */
+    void reserve(int op, const machine::ReservationTable& table, int time);
+
+    /** Release every cell held by `op` (no-op if it holds none). */
+    void release(int op);
+
+    /** Owner of (row, resource), or kFree. */
+    int
+    owner(int row, machine::ResourceId resource) const
+    {
+        return cells_[static_cast<std::size_t>(row) * numResources_ +
+                      resource];
+    }
+
+    /** Count of currently reserved cells (for tests). */
+    int reservedCellCount() const;
+
+    /**
+     * True if `table` collides with itself under modulo `ii` wrap-around
+     * (two uses of one resource in congruent rows): such an alternative
+     * can never be scheduled at this II, at any time slot.
+     */
+    static bool selfConflicts(const machine::ReservationTable& table,
+                              int ii);
+
+  private:
+    int
+    rowOf(int time) const
+    {
+        // Schedule times are never negative (Estart >= 0), but keep the
+        // modulo well-defined anyway.
+        const int m = time % ii_;
+        return m < 0 ? m + ii_ : m;
+    }
+
+    int ii_;
+    int numResources_;
+    std::vector<int> cells_;
+    /** Per op: linear cell indices it holds. */
+    std::vector<std::vector<int>> held_;
+};
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_MRT_HPP

@@ -1,0 +1,104 @@
+#include "sched/partial_schedule.hpp"
+
+#include <cassert>
+
+namespace ims::sched {
+
+namespace {
+
+/** Shared empty alternative list for pseudo vertices. */
+const std::vector<machine::Alternative>&
+pseudoAlternatives()
+{
+    static const std::vector<machine::Alternative> alternatives = {
+        machine::Alternative{"pseudo", machine::ReservationTable{}}};
+    return alternatives;
+}
+
+} // namespace
+
+PartialSchedule::PartialSchedule(const graph::DepGraph& graph,
+                                 const ir::Loop& loop,
+                                 const machine::MachineModel& machine,
+                                 int ii)
+    : graph_(graph),
+      ii_(ii),
+      mrt_(ii, machine.numResources(), graph.numVertices()),
+      alternatives_(graph.numVertices()),
+      scheduled_(graph.numVertices(), false),
+      never_(graph.numVertices(), true),
+      time_(graph.numVertices(), 0),
+      prevTime_(graph.numVertices(), 0),
+      alternative_(graph.numVertices(), 0)
+{
+    assert(loop.size() == graph.numOps());
+    for (graph::VertexId v = 0; v < graph.numVertices(); ++v) {
+        if (graph.isPseudo(v)) {
+            alternatives_[v] = &pseudoAlternatives();
+        } else {
+            alternatives_[v] =
+                &machine.info(loop.operation(v).opcode).alternatives;
+        }
+    }
+}
+
+bool
+PartialSchedule::resourceConflict(graph::VertexId v, int time) const
+{
+    return fittingAlternative(v, time) < 0;
+}
+
+int
+PartialSchedule::fittingAlternative(graph::VertexId v, int time) const
+{
+    const auto& alternatives = *alternatives_[v];
+    for (std::size_t alt = 0; alt < alternatives.size(); ++alt) {
+        const auto& table = alternatives[alt].table;
+        if (ModuloReservationTable::selfConflicts(table, ii_))
+            continue;
+        if (!mrt_.conflicts(table, time))
+            return static_cast<int>(alt);
+    }
+    return -1;
+}
+
+void
+PartialSchedule::place(graph::VertexId v, int time, int alternative)
+{
+    assert(!scheduled_[v]);
+    const auto& table = (*alternatives_[v])[alternative].table;
+    mrt_.reserve(v, table, time);
+    scheduled_[v] = true;
+    never_[v] = false;
+    time_[v] = time;
+    prevTime_[v] = time;
+    alternative_[v] = alternative;
+    ++numScheduled_;
+}
+
+void
+PartialSchedule::remove(graph::VertexId v)
+{
+    assert(scheduled_[v]);
+    mrt_.release(v);
+    scheduled_[v] = false;
+    --numScheduled_;
+}
+
+bool
+PartialSchedule::allVerticesPlaceable() const
+{
+    for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
+        const auto& alternatives = *alternatives_[v];
+        bool placeable = false;
+        for (const auto& alt : alternatives) {
+            placeable = placeable ||
+                        !ModuloReservationTable::selfConflicts(alt.table, ii_);
+        }
+        if (!placeable)
+            return false;
+    }
+    return true;
+}
+
+} // namespace ims::sched

@@ -1,0 +1,97 @@
+#ifndef IMS_SCHED_PARTIAL_SCHEDULE_HPP
+#define IMS_SCHED_PARTIAL_SCHEDULE_HPP
+
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "sched/mrt.hpp"
+
+namespace ims::sched {
+
+/**
+ * Mutable scheduling state for one iterative-scheduling attempt at a fixed
+ * II: per-vertex schedule times, chosen alternatives, the never-scheduled
+ * and previous-schedule-time bookkeeping of Figures 3/4, and the modulo
+ * reservation table.
+ *
+ * Vertices are the dependence graph's (loop operations plus START/STOP);
+ * pseudo vertices occupy no resources.
+ */
+class PartialSchedule
+{
+  public:
+    PartialSchedule(const graph::DepGraph& graph, const ir::Loop& loop,
+                    const machine::MachineModel& machine, int ii);
+
+    int ii() const { return ii_; }
+
+    bool isScheduled(graph::VertexId v) const { return scheduled_[v]; }
+
+    /** Schedule time; only meaningful while isScheduled(v). */
+    int timeOf(graph::VertexId v) const { return time_[v]; }
+
+    /** Chosen alternative index; only meaningful while isScheduled(v). */
+    int alternativeOf(graph::VertexId v) const { return alternative_[v]; }
+
+    bool neverScheduled(graph::VertexId v) const { return never_[v]; }
+
+    /** Time at which v was last scheduled (valid once !neverScheduled). */
+    int prevScheduleTime(graph::VertexId v) const { return prevTime_[v]; }
+
+    /** Number of currently scheduled vertices. */
+    int numScheduled() const { return numScheduled_; }
+
+    /** Alternatives available to vertex `v` on this machine. */
+    const std::vector<machine::Alternative>&
+    alternativesOf(graph::VertexId v) const
+    {
+        return *alternatives_[v];
+    }
+
+    const ModuloReservationTable& mrt() const { return mrt_; }
+
+    /**
+     * True if scheduling `v` at `time` has a resource conflict for every
+     * alternative (the ResourceConflict predicate of Figure 4).
+     */
+    bool resourceConflict(graph::VertexId v, int time) const;
+
+    /**
+     * First alternative of `v` that fits conflict-free at `time`, or -1.
+     */
+    int fittingAlternative(graph::VertexId v, int time) const;
+
+    /**
+     * Place `v` at `time` using `alternative` (must fit conflict-free);
+     * updates never/prev bookkeeping.
+     */
+    void place(graph::VertexId v, int time, int alternative);
+
+    /** Displace `v` from the schedule, freeing its reservations. */
+    void remove(graph::VertexId v);
+
+    /**
+     * True if some alternative of every vertex is usable at this II (no
+     * modulo self-collision); when false, no schedule exists at this II
+     * regardless of placement.
+     */
+    bool allVerticesPlaceable() const;
+
+  private:
+    const graph::DepGraph& graph_;
+    int ii_;
+    ModuloReservationTable mrt_;
+    std::vector<const std::vector<machine::Alternative>*> alternatives_;
+    std::vector<bool> scheduled_;
+    std::vector<bool> never_;
+    std::vector<int> time_;
+    std::vector<int> prevTime_;
+    std::vector<int> alternative_;
+    int numScheduled_ = 0;
+};
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_PARTIAL_SCHEDULE_HPP

@@ -1,0 +1,82 @@
+#include "sched/priority.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mii/min_dist.hpp"
+#include "sched/height_r.hpp"
+#include "support/rng.hpp"
+
+namespace ims::sched {
+
+std::string
+prioritySchemeName(PriorityScheme scheme)
+{
+    switch (scheme) {
+      case PriorityScheme::kHeightR:
+        return "heightr";
+      case PriorityScheme::kSlack:
+        return "slack";
+      case PriorityScheme::kSourceOrder:
+        return "source-order";
+      case PriorityScheme::kRandom:
+        return "random";
+    }
+    return "?";
+}
+
+std::vector<std::int64_t>
+computePriorities(const graph::DepGraph& graph, const graph::SccResult& sccs,
+                  int ii, PriorityScheme scheme, std::uint64_t seed,
+                  support::Counters* counters)
+{
+    const int n = graph.numVertices();
+    switch (scheme) {
+      case PriorityScheme::kHeightR:
+        return computeHeightR(graph, sccs, ii, counters);
+
+      case PriorityScheme::kSlack: {
+        // slack(v) = LatestStart(v) - EarliestStart(v) where
+        // EarliestStart(v) = MinDist[START, v] and
+        // LatestStart(v) = MinDist[START, STOP] - MinDist[v, STOP].
+        const mii::MinDistMatrix dist(graph, ii, counters);
+        const std::int64_t makespan =
+            dist.atVertex(graph.start(), graph.stop());
+        std::vector<std::int64_t> priorities(n, 0);
+        for (graph::VertexId v = 0; v < n; ++v) {
+            const std::int64_t early = dist.atVertex(graph.start(), v);
+            const std::int64_t to_stop = dist.atVertex(v, graph.stop());
+            const std::int64_t late = makespan - to_stop;
+            priorities[v] = -(late - early); // least slack = highest
+        }
+        return priorities;
+      }
+
+      case PriorityScheme::kSourceOrder: {
+        std::vector<std::int64_t> priorities(n, 0);
+        for (graph::VertexId v = 0; v < n; ++v)
+            priorities[v] = -v;
+        // START must still come first; STOP last.
+        priorities[graph.start()] = INT64_MAX / 2;
+        priorities[graph.stop()] = INT64_MIN / 2;
+        return priorities;
+      }
+
+      case PriorityScheme::kRandom: {
+        std::vector<std::int64_t> priorities(n, 0);
+        std::vector<int> permutation(n);
+        std::iota(permutation.begin(), permutation.end(), 0);
+        support::Rng rng(seed);
+        for (int i = n - 1; i > 0; --i)
+            std::swap(permutation[i], permutation[rng.uniformInt(0, i)]);
+        for (graph::VertexId v = 0; v < n; ++v)
+            priorities[v] = permutation[v];
+        priorities[graph.start()] = INT64_MAX / 2;
+        priorities[graph.stop()] = INT64_MIN / 2;
+        return priorities;
+      }
+    }
+    return std::vector<std::int64_t>(n, 0);
+}
+
+} // namespace ims::sched

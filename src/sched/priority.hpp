@@ -1,0 +1,45 @@
+#ifndef IMS_SCHED_PRIORITY_HPP
+#define IMS_SCHED_PRIORITY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "graph/scc.hpp"
+#include "support/counters.hpp"
+
+namespace ims::sched {
+
+/**
+ * Priority functions for HighestPriorityOperation. The paper selects the
+ * height-based HeightR (§3.2) after investigating a number of schemes;
+ * the alternatives here support the priority-function ablation bench.
+ */
+enum class PriorityScheme
+{
+    /** HeightR of Figure 5(a) — the paper's choice. */
+    kHeightR,
+    /** Least slack first, via the full-graph MinDist matrix. */
+    kSlack,
+    /** Program order (earlier operations first). */
+    kSourceOrder,
+    /** A fixed random permutation (seeded; worst-case baseline). */
+    kRandom,
+};
+
+/** Name for a scheme ("heightr", "slack", ...). */
+std::string prioritySchemeName(PriorityScheme scheme);
+
+/**
+ * Compute per-vertex priorities (larger = scheduled earlier) for the given
+ * candidate II. Ties are broken by vertex id in the scheduler.
+ */
+std::vector<std::int64_t>
+computePriorities(const graph::DepGraph& graph, const graph::SccResult& sccs,
+                  int ii, PriorityScheme scheme, std::uint64_t seed = 1,
+                  support::Counters* counters = nullptr);
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_PRIORITY_HPP

@@ -1,0 +1,316 @@
+#include "sched/slack_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mii/mii.hpp"
+#include "mii/min_dist.hpp"
+#include "sched/partial_schedule.hpp"
+#include "support/error.hpp"
+
+namespace ims::sched {
+
+namespace {
+
+constexpr std::int64_t kInf = INT64_MAX / 4;
+
+/** One slack-scheduling attempt at a fixed II. */
+class SlackAttempt
+{
+  public:
+    SlackAttempt(const ir::Loop& loop,
+                 const machine::MachineModel& machine,
+                 const graph::DepGraph& graph, int ii,
+                 support::Counters* counters)
+        : graph_(graph),
+          ii_(ii),
+          counters_(counters),
+          dist_(graph, ii, counters),
+          schedule_(graph, loop, machine, ii),
+          unplaced_(graph.numVertices(), true),
+          numUnplaced_(graph.numVertices())
+    {
+    }
+
+    bool
+    run(std::int64_t budget, std::int64_t& steps_used,
+        std::int64_t& unschedules)
+    {
+        if (!schedule_.allVerticesPlaceable())
+            return false;
+
+        const int deadline = static_cast<int>(
+            dist_.atVertex(graph_.start(), graph_.stop()));
+
+        place(graph_.start(), 0, 0);
+        --budget;
+        // Pre-place STOP at the critical-path deadline so every ltime is
+        // finite; it is ejected and re-placed if a forced placement
+        // pushes past it.
+        place(graph_.stop(), deadline, 0);
+        --budget;
+
+        while (numUnplaced_ > 0 && budget > 0) {
+            const graph::VertexId op = pickMinSlack();
+            const auto [etime, ltime] = window(op);
+            const bool early = placeEarly(op);
+
+            int slot = -1;
+            int alternative = -1;
+            if (etime <= ltime) {
+                const std::int64_t lo = etime;
+                const std::int64_t hi =
+                    std::min<std::int64_t>(ltime, etime + ii_ - 1);
+                if (early) {
+                    for (std::int64_t t = lo; t <= hi; ++t) {
+                        support::bump(
+                            counters_,
+                            &support::Counters::findTimeSlotProbes);
+                        alternative = schedule_.fittingAlternative(
+                            op, static_cast<int>(t));
+                        if (alternative >= 0) {
+                            slot = static_cast<int>(t);
+                            break;
+                        }
+                    }
+                } else {
+                    const std::int64_t down_lo =
+                        std::max<std::int64_t>(lo, ltime - ii_ + 1);
+                    for (std::int64_t t = ltime; t >= down_lo; --t) {
+                        support::bump(
+                            counters_,
+                            &support::Counters::findTimeSlotProbes);
+                        alternative = schedule_.fittingAlternative(
+                            op, static_cast<int>(t));
+                        if (alternative >= 0) {
+                            slot = static_cast<int>(t);
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if (slot < 0) {
+                // Forced placement with the forward-progress rule.
+                if (schedule_.neverScheduled(op) ||
+                    etime > schedule_.prevScheduleTime(op)) {
+                    slot = static_cast<int>(etime);
+                } else {
+                    slot = schedule_.prevScheduleTime(op) + 1;
+                }
+                forceEject(op, slot, unschedules);
+                alternative = schedule_.fittingAlternative(op, slot);
+                assert(alternative >= 0);
+            }
+
+            place(op, slot, alternative);
+            ejectDependenceViolations(op, slot, unschedules);
+            --budget;
+            ++steps_used;
+            support::bump(counters_, &support::Counters::scheduleSteps);
+        }
+        return numUnplaced_ == 0;
+    }
+
+    const PartialSchedule& schedule() const { return schedule_; }
+
+  private:
+    /** Dynamic (etime, ltime) window against the placed operations. */
+    std::pair<std::int64_t, std::int64_t>
+    window(graph::VertexId op) const
+    {
+        std::int64_t etime = 0;
+        std::int64_t ltime = kInf;
+        for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
+            if (unplaced_[v] || v == op)
+                continue;
+            support::bump(counters_,
+                          &support::Counters::estartPredecessorVisits);
+            const std::int64_t to_op = dist_.atVertex(v, op);
+            if (to_op != mii::MinDistMatrix::kMinusInf) {
+                etime = std::max(etime, schedule_.timeOf(v) + to_op);
+            }
+            const std::int64_t from_op = dist_.atVertex(op, v);
+            if (from_op != mii::MinDistMatrix::kMinusInf) {
+                ltime = std::min(ltime,
+                                 schedule_.timeOf(v) - from_op);
+            }
+        }
+        if (ltime == kInf)
+            ltime = etime + ii_ - 1; // e.g. a re-placed STOP
+        return {etime, ltime};
+    }
+
+    graph::VertexId
+    pickMinSlack()
+    {
+        graph::VertexId best = -1;
+        std::int64_t best_slack = kInf;
+        for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
+            if (!unplaced_[v])
+                continue;
+            const auto [etime, ltime] = window(v);
+            const std::int64_t slack = ltime - etime;
+            if (best < 0 || slack < best_slack) {
+                best = v;
+                best_slack = slack;
+            }
+        }
+        assert(best >= 0);
+        return best;
+    }
+
+    /** Huff's direction rule: early if more unplaced consumers wait. */
+    bool
+    placeEarly(graph::VertexId op) const
+    {
+        int unplaced_preds = 0;
+        int unplaced_succs = 0;
+        for (graph::EdgeId eid : graph_.inEdges(op)) {
+            const auto& e = graph_.edge(eid);
+            if (e.from != op && unplaced_[e.from])
+                ++unplaced_preds;
+        }
+        for (graph::EdgeId eid : graph_.outEdges(op)) {
+            const auto& e = graph_.edge(eid);
+            if (e.to != op && unplaced_[e.to])
+                ++unplaced_succs;
+        }
+        return unplaced_succs >= unplaced_preds;
+    }
+
+    void
+    place(graph::VertexId op, int time, int alternative)
+    {
+        schedule_.place(op, time, alternative);
+        unplaced_[op] = false;
+        ++numPlaced_;
+        --numUnplaced_;
+    }
+
+    void
+    eject(graph::VertexId victim, std::int64_t& unschedules)
+    {
+        assert(victim != graph_.start());
+        if (unplaced_[victim])
+            return;
+        schedule_.remove(victim);
+        unplaced_[victim] = true;
+        --numPlaced_;
+        ++numUnplaced_;
+        ++unschedules;
+        support::bump(counters_, &support::Counters::unscheduleSteps);
+    }
+
+    /** Eject everything conflicting with any alternative at `slot`. */
+    void
+    forceEject(graph::VertexId op, int slot, std::int64_t& unschedules)
+    {
+        for (const auto& alt : schedule_.alternativesOf(op)) {
+            if (ModuloReservationTable::selfConflicts(alt.table, ii_))
+                continue;
+            for (int victim :
+                 schedule_.mrt().conflictingOps(alt.table, slot)) {
+                eject(victim, unschedules);
+            }
+        }
+    }
+
+    /**
+     * Because placement is bidirectional, both placed predecessors and
+     * placed successors can end up violated; eject them (they re-enter
+     * the worklist with updated windows).
+     */
+    void
+    ejectDependenceViolations(graph::VertexId op, int slot,
+                              std::int64_t& unschedules)
+    {
+        for (graph::EdgeId eid : graph_.outEdges(op)) {
+            const auto& e = graph_.edge(eid);
+            if (e.to == op || unplaced_[e.to])
+                continue;
+            const std::int64_t earliest =
+                static_cast<std::int64_t>(slot) + e.delay -
+                static_cast<std::int64_t>(ii_) * e.distance;
+            if (schedule_.timeOf(e.to) < earliest)
+                eject(e.to, unschedules);
+        }
+        for (graph::EdgeId eid : graph_.inEdges(op)) {
+            const auto& e = graph_.edge(eid);
+            if (e.from == op || unplaced_[e.from] ||
+                e.from == graph_.start()) {
+                continue;
+            }
+            const std::int64_t latest =
+                static_cast<std::int64_t>(slot) - e.delay +
+                static_cast<std::int64_t>(ii_) * e.distance;
+            if (schedule_.timeOf(e.from) > latest)
+                eject(e.from, unschedules);
+        }
+    }
+
+    const graph::DepGraph& graph_;
+    int ii_;
+    support::Counters* counters_;
+    mii::MinDistMatrix dist_;
+    PartialSchedule schedule_;
+    std::vector<bool> unplaced_;
+    int numPlaced_ = 0;
+    int numUnplaced_ = 0;
+};
+
+} // namespace
+
+ModuloScheduleOutcome
+slackModuloSchedule(const ir::Loop& loop,
+                    const machine::MachineModel& machine,
+                    const graph::DepGraph& graph,
+                    const graph::SccResult& sccs,
+                    const ModuloScheduleOptions& options,
+                    support::Counters* counters)
+{
+    support::check(options.budgetRatio > 0, "BudgetRatio must be positive");
+    const mii::MiiResult mii =
+        mii::computeMii(loop, machine, graph, sccs, counters);
+    const std::int64_t budget = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(
+               std::llround(options.budgetRatio * (loop.size() + 2))));
+
+    ModuloScheduleOutcome outcome;
+    outcome.resMii = mii.resMii;
+    outcome.mii = mii.mii;
+
+    for (int ii = mii.mii; ii <= mii.mii + options.maxIiIncrease; ++ii) {
+        ++outcome.attempts;
+        SlackAttempt attempt(loop, machine, graph, ii, counters);
+        std::int64_t steps = 0;
+        std::int64_t unschedules = 0;
+        if (attempt.run(budget, steps, unschedules)) {
+            outcome.totalSteps += steps;
+            outcome.totalUnschedules += unschedules;
+            ScheduleResult result;
+            result.ii = ii;
+            result.times.resize(graph.numOps());
+            result.alternatives.resize(graph.numOps());
+            for (graph::VertexId v = 0; v < graph.numOps(); ++v) {
+                result.times[v] = attempt.schedule().timeOf(v);
+                result.alternatives[v] =
+                    attempt.schedule().alternativeOf(v);
+            }
+            result.scheduleLength =
+                attempt.schedule().timeOf(graph.stop());
+            result.stepsUsed = steps;
+            result.unschedules = unschedules;
+            outcome.schedule = std::move(result);
+            return outcome;
+        }
+        outcome.totalSteps += budget;
+    }
+    throw support::Error("slack scheduler found no schedule for '" +
+                         loop.name() + "' within " +
+                         std::to_string(options.maxIiIncrease) +
+                         " IIs above the MII");
+}
+
+} // namespace ims::sched

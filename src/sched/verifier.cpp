@@ -1,0 +1,96 @@
+#include "sched/verifier.hpp"
+
+#include <sstream>
+
+#include "sched/mrt.hpp"
+
+namespace ims::sched {
+
+std::vector<std::string>
+verifySchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+               const graph::DepGraph& graph, const ScheduleResult& schedule)
+{
+    std::vector<std::string> violations;
+    auto complain = [&violations](const std::string& message) {
+        violations.push_back(message);
+    };
+
+    if (schedule.ii < 1) {
+        complain("II must be at least 1");
+        return violations;
+    }
+    if (static_cast<int>(schedule.times.size()) != loop.size() ||
+        static_cast<int>(schedule.alternatives.size()) != loop.size()) {
+        complain("schedule arrays do not match the loop size");
+        return violations;
+    }
+
+    // Times of all graph vertices: real ops from the schedule; START at 0,
+    // STOP at scheduleLength.
+    auto time_of = [&](graph::VertexId v) {
+        if (v == graph.start())
+            return 0;
+        if (v == graph.stop())
+            return schedule.scheduleLength;
+        return schedule.times[v];
+    };
+
+    for (int op = 0; op < loop.size(); ++op) {
+        if (schedule.times[op] < 0)
+            complain("operation " + std::to_string(op) +
+                     " scheduled at negative time");
+        const auto& info = machine.info(loop.operation(op).opcode);
+        if (schedule.alternatives[op] < 0 ||
+            schedule.alternatives[op] >=
+                static_cast<int>(info.alternatives.size())) {
+            complain("operation " + std::to_string(op) +
+                     " has an invalid alternative index");
+            return violations;
+        }
+    }
+
+    // Dependence constraints.
+    for (const auto& edge : graph.edges()) {
+        const std::int64_t earliest =
+            static_cast<std::int64_t>(time_of(edge.from)) + edge.delay -
+            static_cast<std::int64_t>(schedule.ii) * edge.distance;
+        if (time_of(edge.to) < earliest) {
+            std::ostringstream out;
+            out << "dependence violated: " << edge.from << " -> " << edge.to
+                << " (" << graph::depKindName(edge.kind) << ", delay "
+                << edge.delay << ", distance " << edge.distance << "): t("
+                << edge.to << ")=" << time_of(edge.to) << " < " << earliest;
+            complain(out.str());
+        }
+    }
+
+    // Resource constraints: rebuild the MRT; reserve() asserts internally,
+    // so check conflicts first and report instead of crashing.
+    ModuloReservationTable mrt(schedule.ii, machine.numResources(),
+                               loop.size());
+    for (int op = 0; op < loop.size(); ++op) {
+        const auto& table = machine.info(loop.operation(op).opcode)
+                                .alternatives[schedule.alternatives[op]]
+                                .table;
+        if (ModuloReservationTable::selfConflicts(table, schedule.ii)) {
+            complain("operation " + std::to_string(op) +
+                     " uses an alternative that self-conflicts at II " +
+                     std::to_string(schedule.ii));
+            continue;
+        }
+        if (mrt.conflicts(table, schedule.times[op])) {
+            for (int other :
+                 mrt.conflictingOps(table, schedule.times[op])) {
+                complain("resource conflict between operations " +
+                         std::to_string(op) + " and " +
+                         std::to_string(other));
+            }
+            continue;
+        }
+        mrt.reserve(op, table, schedule.times[op]);
+    }
+
+    return violations;
+}
+
+} // namespace ims::sched

@@ -1,0 +1,37 @@
+#ifndef IMS_SCHED_VERIFIER_HPP
+#define IMS_SCHED_VERIFIER_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "sched/iterative_scheduler.hpp"
+
+namespace ims::sched {
+
+/**
+ * Independent legality checker for modulo schedules. A schedule is legal
+ * (§1: "no intra- or inter-iteration dependence is violated, and no
+ * resource usage conflict arises between operations of either the same or
+ * distinct iterations") iff:
+ *
+ *  - every dependence edge e: P -> Q satisfies
+ *      t(Q) >= t(P) + Delay(e) - II * Distance(e);
+ *  - rebuilding the modulo reservation table from the chosen alternatives
+ *    produces no double booking;
+ *  - every time is >= 0 and every alternative index is valid.
+ *
+ * Returns a list of human-readable violations; empty means legal. Every
+ * schedule produced in the test and benchmark suites is passed through
+ * this checker.
+ */
+std::vector<std::string> verifySchedule(const ir::Loop& loop,
+                                        const machine::MachineModel& machine,
+                                        const graph::DepGraph& graph,
+                                        const ScheduleResult& schedule);
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_VERIFIER_HPP

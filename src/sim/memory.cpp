@@ -1,0 +1,86 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/error.hpp"
+
+namespace ims::sim {
+
+Memory::Memory(const ir::Loop& loop, int trip_count, int margin)
+    : tripCount_(trip_count), margin_(margin)
+{
+    assert(trip_count >= 1 && margin >= 0);
+    int max_stride = 1;
+    for (const auto& op : loop.operations()) {
+        if (op.memRef)
+            max_stride = std::max(max_stride, op.memRef->stride);
+    }
+    arrays_.assign(
+        loop.numArrays(),
+        std::vector<Value>(static_cast<std::size_t>(trip_count) *
+                                   max_stride +
+                               2 * margin,
+                           0.0));
+}
+
+std::size_t
+Memory::cellIndex(ir::ArrayId array, int index) const
+{
+    assert(array >= 0 && array < static_cast<int>(arrays_.size()));
+    const long long cell = static_cast<long long>(index) + margin_;
+    support::check(cell >= 0 &&
+                       cell < static_cast<long long>(arrays_[array].size()),
+                   "array access out of simulated bounds (index " +
+                       std::to_string(index) + "); increase the margin");
+    return static_cast<std::size_t>(cell);
+}
+
+void
+Memory::init(ir::ArrayId array, int first, const std::vector<Value>& contents)
+{
+    for (std::size_t k = 0; k < contents.size(); ++k)
+        write(array, first + static_cast<int>(k), contents[k]);
+}
+
+Value
+Memory::read(ir::ArrayId array, int index) const
+{
+    return arrays_[array][cellIndex(array, index)];
+}
+
+void
+Memory::write(ir::ArrayId array, int index, Value value)
+{
+    arrays_[array][cellIndex(array, index)] = value;
+}
+
+std::vector<Value>
+Memory::snapshot(ir::ArrayId array, int from, int count) const
+{
+    std::vector<Value> result;
+    result.reserve(count);
+    for (int k = 0; k < count; ++k)
+        result.push_back(read(array, from + k));
+    return result;
+}
+
+bool
+Memory::operator==(const Memory& other) const
+{
+    if (tripCount_ != other.tripCount_ || margin_ != other.margin_ ||
+        arrays_.size() != other.arrays_.size()) {
+        return false;
+    }
+    for (std::size_t a = 0; a < arrays_.size(); ++a) {
+        if (arrays_[a].size() != other.arrays_[a].size())
+            return false;
+        for (std::size_t k = 0; k < arrays_[a].size(); ++k) {
+            if (!sameValue(arrays_[a][k], other.arrays_[a][k]))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ims::sim

@@ -1,0 +1,58 @@
+#ifndef IMS_SIM_MEMORY_HPP
+#define IMS_SIM_MEMORY_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "sim/value.hpp"
+
+namespace ims::sim {
+
+/**
+ * Array storage for loop simulation. Accesses are to logical indices
+ * i + offset where i is the iteration number; negative indices (reads of
+ * elements "before" the loop, e.g. a[i-1] at i = 0) land in a margin
+ * region initialised along with the array.
+ */
+class Memory
+{
+  public:
+    /**
+     * @param loop       declares the array symbols.
+     * @param trip_count number of iterations to be simulated.
+     * @param margin     extra elements on both sides of [0, trip_count).
+     */
+    Memory(const ir::Loop& loop, int trip_count, int margin);
+
+    /**
+     * Initialise array contents: `contents[k]` becomes logical index
+     * `first + k`. Unset elements default to 0.
+     */
+    void init(ir::ArrayId array, int first,
+              const std::vector<Value>& contents);
+
+    Value read(ir::ArrayId array, int index) const;
+    void write(ir::ArrayId array, int index, Value value);
+
+    /** Logical elements [from, from + count). */
+    std::vector<Value> snapshot(ir::ArrayId array, int from,
+                                int count) const;
+
+    int margin() const { return margin_; }
+
+    /** Exact content equality with another Memory of identical shape. */
+    bool operator==(const Memory& other) const;
+
+  private:
+    std::size_t cellIndex(ir::ArrayId array, int index) const;
+
+    int tripCount_;
+    int margin_;
+    std::vector<std::vector<Value>> arrays_;
+};
+
+} // namespace ims::sim
+
+#endif // IMS_SIM_MEMORY_HPP

@@ -1,0 +1,105 @@
+#include "sim/sequential_interpreter.hpp"
+
+#include "sim/register_file.hpp"
+#include "support/error.hpp"
+
+namespace ims::sim {
+
+bool
+equivalent(const SimResult& a, const SimResult& b)
+{
+    if (a.executedIterations != b.executedIterations)
+        return false;
+    if (!(a.memory == b.memory))
+        return false;
+    if (a.finalRegisters.size() != b.finalRegisters.size())
+        return false;
+    for (const auto& [name, value] : a.finalRegisters) {
+        const auto it = b.finalRegisters.find(name);
+        if (it == b.finalRegisters.end() || !sameValue(value, it->second))
+            return false;
+    }
+    return true;
+}
+
+SimResult
+runSequential(const ir::Loop& loop, const SimSpec& spec)
+{
+    loop.validate();
+    support::check(spec.tripCount >= 1, "trip count must be at least 1");
+
+    Memory memory(loop, spec.tripCount, spec.margin);
+    for (const auto& [name, init] : spec.arrays) {
+        for (ir::ArrayId array = 0; array < loop.numArrays(); ++array) {
+            if (loop.arrays()[array].name == name)
+                memory.init(array, init.first, init.second);
+        }
+    }
+
+    RegisterFile registers(loop, spec, spec.tripCount);
+
+    bool has_exit = false;
+    for (const auto& op : loop.operations())
+        has_exit = has_exit || op.opcode == ir::Opcode::kExitIf;
+
+    int executed = 0;
+    bool exited = false;
+    for (int iter = 0; iter < spec.tripCount && !exited; ++iter) {
+        ++executed;
+        for (const auto& op : loop.operations()) {
+            const bool active =
+                !op.guard || isTrue(registers.readOperand(*op.guard, iter));
+
+            if (op.opcode == ir::Opcode::kBranch)
+                continue;
+
+            if (op.opcode == ir::Opcode::kExitIf) {
+                if (active &&
+                    registers.readOperand(op.sources[0], iter) > 0.0) {
+                    exited = true;
+                    break; // the rest of this iteration does not run
+                }
+                continue;
+            }
+
+            if (op.isStore()) {
+                if (!active)
+                    continue;
+                memory.write(op.memRef->array, op.memRef->stride * iter + op.memRef->offset,
+                             registers.readOperand(op.sources[1], iter));
+                continue;
+            }
+
+            if (!op.hasDest())
+                continue;
+
+            Value result = 0.0;
+            if (active) {
+                if (op.isLoad()) {
+                    result = memory.read(op.memRef->array,
+                                         op.memRef->stride * iter + op.memRef->offset);
+                } else {
+                    std::vector<Value> sources;
+                    sources.reserve(op.sources.size());
+                    for (const auto& src : op.sources)
+                        sources.push_back(registers.readOperand(src, iter));
+                    result = evaluate(op.opcode, sources);
+                }
+            }
+            registers.write(op.dest, iter, result);
+        }
+    }
+
+    SimResult result{std::move(memory), {}, executed};
+    if (!has_exit) {
+        for (ir::RegId reg = 0; reg < loop.numRegisters(); ++reg) {
+            if (loop.definingOp(reg) >= 0) {
+                result.finalRegisters[loop.reg(reg).name] =
+                    registers.read(reg, spec.tripCount - 1);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace ims::sim

@@ -1,0 +1,64 @@
+#ifndef IMS_SUPPORT_COUNTERS_HPP
+#define IMS_SUPPORT_COUNTERS_HPP
+
+#include <cstdint>
+
+namespace ims::support {
+
+/**
+ * Instrumentation counters for the paper's computational-complexity study
+ * (§4.4, Table 4). Each field counts executions of the innermost loop of
+ * one sub-activity; the Table 4 bench fits these against the loop size N.
+ *
+ * All algorithms accept an optional Counters*; passing nullptr disables
+ * instrumentation at negligible cost.
+ */
+struct Counters
+{
+    /** Inner steps of SCC identification (edge visits). */
+    std::uint64_t sccEdgeVisits = 0;
+    /** Resource-usage inspections during the ResMII bin-packing. */
+    std::uint64_t resMiiInspections = 0;
+    /** Innermost (k,i,j) iterations of ComputeMinDist. */
+    std::uint64_t minDistInnerSteps = 0;
+    /** Number of times ComputeMinDist was invoked. */
+    std::uint64_t minDistInvocations = 0;
+    /** Innermost relaxation steps of the HeightR computation. */
+    std::uint64_t heightRInnerSteps = 0;
+    /** Predecessor examinations while computing Estart. */
+    std::uint64_t estartPredecessorVisits = 0;
+    /** Time slots examined by FindTimeSlot. */
+    std::uint64_t findTimeSlotProbes = 0;
+    /** Operation scheduling steps performed (the paper's budget unit). */
+    std::uint64_t scheduleSteps = 0;
+    /** Operations displaced from the schedule. */
+    std::uint64_t unscheduleSteps = 0;
+
+    Counters&
+    operator+=(const Counters& other)
+    {
+        sccEdgeVisits += other.sccEdgeVisits;
+        resMiiInspections += other.resMiiInspections;
+        minDistInnerSteps += other.minDistInnerSteps;
+        minDistInvocations += other.minDistInvocations;
+        heightRInnerSteps += other.heightRInnerSteps;
+        estartPredecessorVisits += other.estartPredecessorVisits;
+        findTimeSlotProbes += other.findTimeSlotProbes;
+        scheduleSteps += other.scheduleSteps;
+        unscheduleSteps += other.unscheduleSteps;
+        return *this;
+    }
+};
+
+/** Increment helper tolerating a null counters pointer. */
+inline void
+bump(Counters* counters, std::uint64_t Counters::* field,
+     std::uint64_t amount = 1)
+{
+    if (counters != nullptr)
+        counters->*field += amount;
+}
+
+} // namespace ims::support
+
+#endif // IMS_SUPPORT_COUNTERS_HPP

@@ -1,0 +1,12 @@
+#include "support/error.hpp"
+
+namespace ims::support {
+
+void
+check(bool condition, const std::string& message)
+{
+    if (!condition)
+        throw Error(message);
+}
+
+} // namespace ims::support

@@ -1,0 +1,29 @@
+#ifndef IMS_SUPPORT_ERROR_HPP
+#define IMS_SUPPORT_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace ims::support {
+
+/**
+ * Error raised for invalid user input (malformed IR text, inconsistent
+ * machine descriptions, impossible scheduling requests).
+ *
+ * API-misuse conditions (violated preconditions inside the library) use
+ * assertions / std::logic_error instead; Error is reserved for conditions a
+ * correct program can hit with bad input, mirroring gem5's fatal()/panic()
+ * distinction.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/** Throw ims::support::Error with the given message if `condition` fails. */
+void check(bool condition, const std::string& message);
+
+} // namespace ims::support
+
+#endif // IMS_SUPPORT_ERROR_HPP

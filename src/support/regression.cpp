@@ -1,0 +1,143 @@
+#include "support/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace ims::support {
+
+namespace {
+
+/** Solve the linear system `a`·x = `b` in place; returns x. */
+std::vector<double>
+solveDense(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        assert(std::abs(a[col][col]) > 1e-30 && "singular normal equations");
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row][col] / a[col][col];
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double sum = b[row];
+        for (std::size_t k = row + 1; k < n; ++k)
+            sum -= a[row][k] * x[k];
+        x[row] = sum / a[row][row];
+    }
+    return x;
+}
+
+double
+residualStdDev(const std::vector<double>& x, const std::vector<double>& y,
+               const PolynomialFit& fit)
+{
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double r = y[i] - fit.evaluate(x[i]);
+        sum_sq += r * r;
+    }
+    return std::sqrt(sum_sq / static_cast<double>(x.size()));
+}
+
+} // namespace
+
+double
+PolynomialFit::evaluate(double x) const
+{
+    double result = 0.0;
+    double power = 1.0;
+    for (double c : coefficients) {
+        result += c * power;
+        power *= x;
+    }
+    return result;
+}
+
+std::string
+PolynomialFit::toString(const std::string& variable) const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(4);
+    bool first = true;
+    for (std::size_t k = coefficients.size(); k-- > 0;) {
+        const double c = coefficients[k];
+        if (!first)
+            out << (c < 0 ? " - " : " + ");
+        else if (c < 0)
+            out << "-";
+        out << std::abs(c);
+        if (k == 1)
+            out << variable;
+        else if (k > 1)
+            out << variable << "^" << k;
+        first = false;
+    }
+    if (first)
+        out << "0";
+    return out.str();
+}
+
+PolynomialFit
+fitPolynomial(const std::vector<double>& x, const std::vector<double>& y,
+              std::size_t degree)
+{
+    assert(x.size() == y.size());
+    assert(x.size() > degree);
+    const std::size_t n = degree + 1;
+    std::vector<std::vector<double>> normal(n, std::vector<double>(n, 0.0));
+    std::vector<double> rhs(n, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        std::vector<double> powers(2 * n - 1, 1.0);
+        for (std::size_t k = 1; k < powers.size(); ++k)
+            powers[k] = powers[k - 1] * x[i];
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c)
+                normal[r][c] += powers[r + c];
+            rhs[r] += powers[r] * y[i];
+        }
+    }
+    PolynomialFit fit;
+    fit.coefficients = solveDense(std::move(normal), std::move(rhs));
+    fit.residualStdDev = residualStdDev(x, y, fit);
+    return fit;
+}
+
+PolynomialFit
+fitLinear(const std::vector<double>& x, const std::vector<double>& y)
+{
+    return fitPolynomial(x, y, 1);
+}
+
+PolynomialFit
+fitProportional(const std::vector<double>& x, const std::vector<double>& y)
+{
+    assert(x.size() == y.size());
+    assert(!x.empty());
+    double xy = 0.0;
+    double xx = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        xy += x[i] * y[i];
+        xx += x[i] * x[i];
+    }
+    assert(xx > 0.0);
+    PolynomialFit fit;
+    fit.coefficients = {0.0, xy / xx};
+    fit.residualStdDev = residualStdDev(x, y, fit);
+    return fit;
+}
+
+} // namespace ims::support

@@ -1,0 +1,56 @@
+#ifndef IMS_SUPPORT_REGRESSION_HPP
+#define IMS_SUPPORT_REGRESSION_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ims::support {
+
+/**
+ * Result of a least-mean-squares polynomial fit y = sum_k coeff[k] * x^k.
+ *
+ * The paper (Table 4 and §4.4) characterises the empirical complexity of
+ * each sub-activity by an LMS fit of an operation counter against the loop
+ * size N (e.g. "3.0036N", "0.0587N^2 + 0.2001N + 0.5000"); this type carries
+ * such fits plus the residual standard deviation the paper quotes for the
+ * MinDist counter.
+ */
+struct PolynomialFit
+{
+    /** coeff[k] multiplies x^k; size is degree + 1. */
+    std::vector<double> coefficients;
+    /** Standard deviation of the residual error of the fit. */
+    double residualStdDev = 0.0;
+
+    /** Evaluate the fitted polynomial at `x`. */
+    double evaluate(double x) const;
+
+    /** Render as e.g. "0.0587N^2 + 0.2001N + 0.5000". */
+    std::string toString(const std::string& variable = "N") const;
+};
+
+/**
+ * Least-squares fit of a degree-`degree` polynomial through (x[i], y[i])
+ * using normal equations with Gaussian elimination.
+ *
+ * @pre x.size() == y.size() and x.size() > degree.
+ */
+PolynomialFit fitPolynomial(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            std::size_t degree);
+
+/** Convenience: linear fit y = a*x + b; returns fit with coefficients {b,a}. */
+PolynomialFit fitLinear(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/**
+ * Fit y = a*x (no intercept), matching the paper's single-coefficient fits
+ * such as "E = 3.0036N".
+ */
+PolynomialFit fitProportional(const std::vector<double>& x,
+                              const std::vector<double>& y);
+
+} // namespace ims::support
+
+#endif // IMS_SUPPORT_REGRESSION_HPP

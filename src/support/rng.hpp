@@ -1,0 +1,101 @@
+#ifndef IMS_SUPPORT_RNG_HPP
+#define IMS_SUPPORT_RNG_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ims::support {
+
+/**
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Used by the workload generator so that the synthetic corpus is identical
+ * across runs and platforms; std::mt19937 + distributions are avoided
+ * because libstdc++ distribution implementations are not pinned.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; distinct seeds give independent streams. */
+    explicit Rng(std::uint64_t seed)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    uniformInt(int lo, int hi)
+    {
+        assert(lo <= hi);
+        const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformReal()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with success probability `p`. */
+    bool
+    bernoulli(double p)
+    {
+        return uniformReal() < p;
+    }
+
+    /**
+     * Pick an index in [0, weights.size()) with probability proportional to
+     * weights[i]. Weights must be non-negative with a positive sum.
+     */
+    std::size_t
+    weightedIndex(const std::vector<double>& weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        assert(total > 0.0);
+        double draw = uniformReal() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            draw -= weights[i];
+            if (draw < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace ims::support
+
+#endif // IMS_SUPPORT_RNG_HPP

@@ -1,0 +1,58 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ims::support {
+
+double
+mean(const std::vector<double>& samples)
+{
+    assert(!samples.empty());
+    const double sum = std::accumulate(samples.begin(), samples.end(), 0.0);
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+median(std::vector<double> samples)
+{
+    assert(!samples.empty());
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    if (n % 2 == 1)
+        return samples[n / 2];
+    return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+double
+fractionAtMost(const std::vector<double>& samples, double threshold)
+{
+    assert(!samples.empty());
+    const auto below = std::count_if(
+        samples.begin(), samples.end(),
+        [threshold](double v) { return v <= threshold + kEps; });
+    return static_cast<double>(below) / static_cast<double>(samples.size());
+}
+
+DistributionStats
+summarize(const std::vector<double>& samples, double min_possible)
+{
+    assert(!samples.empty());
+    DistributionStats stats;
+    stats.minPossible = min_possible;
+    stats.count = samples.size();
+    stats.mean = mean(samples);
+    stats.median = median(samples);
+    stats.maximum = *std::max_element(samples.begin(), samples.end());
+    stats.minimumObserved = *std::min_element(samples.begin(), samples.end());
+    const auto at_min = std::count_if(
+        samples.begin(), samples.end(),
+        [min_possible](double v) { return std::abs(v - min_possible) <= kEps; });
+    stats.freqOfMinPossible =
+        static_cast<double>(at_min) / static_cast<double>(samples.size());
+    return stats;
+}
+
+} // namespace ims::support

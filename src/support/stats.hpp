@@ -1,0 +1,59 @@
+#ifndef IMS_SUPPORT_STATS_HPP
+#define IMS_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ims::support {
+
+/**
+ * Distribution summary in the shape of the paper's Table 3: the minimum
+ * possible value of a measurement, how often that minimum was attained, and
+ * the median / mean / maximum of the observed sample.
+ */
+struct DistributionStats
+{
+    /** The theoretical minimum of the measurement (supplied by the caller). */
+    double minPossible = 0.0;
+    /** Fraction of samples exactly at `minPossible` (within `kEps`). */
+    double freqOfMinPossible = 0.0;
+    /** Sample median (midpoint average for even-sized samples). */
+    double median = 0.0;
+    /** Sample mean. */
+    double mean = 0.0;
+    /** Largest observed value. */
+    double maximum = 0.0;
+    /** Smallest observed value (not in the paper's table; kept for tests). */
+    double minimumObserved = 0.0;
+    /** Number of samples summarised. */
+    std::size_t count = 0;
+};
+
+/** Tolerance used when counting samples equal to the minimum possible. */
+inline constexpr double kEps = 1e-9;
+
+/**
+ * Summarise `samples` against the theoretical minimum `min_possible`.
+ *
+ * @param samples      observed values; must be non-empty.
+ * @param min_possible the smallest value the measurement can take.
+ */
+DistributionStats summarize(const std::vector<double>& samples,
+                            double min_possible);
+
+/** Sample mean of a non-empty vector. */
+double mean(const std::vector<double>& samples);
+
+/** Sample median of a non-empty vector (input left unmodified). */
+double median(std::vector<double> samples);
+
+/**
+ * Fraction of samples for which `samples[i] <= threshold + kEps`.
+ * Used for the paper's in-text cumulative statements ("90% is <= 20").
+ */
+double fractionAtMost(const std::vector<double>& samples, double threshold);
+
+} // namespace ims::support
+
+#endif // IMS_SUPPORT_STATS_HPP

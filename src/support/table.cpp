@@ -1,0 +1,72 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ims::support {
+
+void
+TextTable::addHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& out) const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_)
+        widen(row);
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        out << "|";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : "";
+            out << " " << std::left << std::setw(static_cast<int>(widths[i]))
+                << cell << " |";
+        }
+        out << "\n";
+    };
+    auto print_rule = [&]() {
+        out << "+";
+        for (std::size_t w : widths)
+            out << std::string(w + 2, '-') << "+";
+        out << "\n";
+    };
+
+    if (!title_.empty())
+        out << "\n== " << title_ << " ==\n";
+    print_rule();
+    if (!header_.empty()) {
+        print_row(header_);
+        print_rule();
+    }
+    for (const auto& row : rows_)
+        print_row(row);
+    print_rule();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+} // namespace ims::support

@@ -1,0 +1,66 @@
+#ifndef IMS_TRANSFORM_LOAD_STORE_ELIM_HPP
+#define IMS_TRANSFORM_LOAD_STORE_ELIM_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "sim/sequential_interpreter.hpp"
+
+namespace ims::transform {
+
+/**
+ * How a forwarded register must be seeded so pre-loop iterations still
+ * observe the original array contents: the value register stands for the
+ * cell array[stride*j + offset] at (negative) iteration j.
+ */
+struct ForwardSeedRule
+{
+    /** Register that replaced the eliminated load's source. */
+    std::string reg;
+    std::string array;
+    int offset = 0;
+    int stride = 1;
+};
+
+/** Outcome of redundant-load elimination. */
+struct ForwardingResult
+{
+    ir::Loop loop;
+    int eliminatedLoads = 0;
+    std::vector<ForwardSeedRule> seedRules;
+};
+
+/**
+ * The memory dataflow optimisation of the paper's §1 step list
+ * ("memory reference data flow analysis and optimization are performed
+ * in order to eliminate partially redundant loads and stores [32]. This
+ * can improve the schedule if either a load is on a critical path or if
+ * the memory ports are the critical resources"): a load of
+ * array[s*i + offL] whose cell is always written by a store of
+ * array[s*(i-d) + offS] (d = (offS - offL)/s >= 0) is replaced by a
+ * register read of the stored value at distance d, turning a
+ * memory-carried recurrence into a register-carried one.
+ *
+ * Safety conditions (conservative): load and store are unguarded, share
+ * the stride, the store is the only store to that array, the forwarded
+ * distance is exact, and for d == 0 the store precedes the load in
+ * program order. Loads that do not qualify are left alone.
+ *
+ * Forwarding with d >= 1 reads the value register across iterations; it
+ * is promoted to live-in and must be seeded with the original array
+ * contents (seedRules; see forwardedSimSpec).
+ */
+ForwardingResult eliminateRedundantLoads(const ir::Loop& loop);
+
+/**
+ * Map a simulation input of the original loop onto the forwarded loop:
+ * seeds for each promoted value register are drawn from the original
+ * initial array image, so both loops compute identical results.
+ */
+sim::SimSpec forwardedSimSpec(const ForwardingResult& result,
+                              const sim::SimSpec& spec);
+
+} // namespace ims::transform
+
+#endif // IMS_TRANSFORM_LOAD_STORE_ELIM_HPP

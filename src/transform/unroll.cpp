@@ -1,0 +1,200 @@
+#include "transform/unroll.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ims::transform {
+
+namespace {
+
+/** Ops forming the loop-control tail: branches + their counter defs. */
+std::vector<bool>
+findTail(const ir::Loop& loop)
+{
+    std::vector<bool> tail(loop.size(), false);
+    std::vector<bool> counter_reg(loop.numRegisters(), false);
+    for (const auto& op : loop.operations()) {
+        if (!op.isBranch())
+            continue;
+        tail[op.id] = true;
+        for (const auto& src : op.sources) {
+            if (!src.isRegister())
+                continue;
+            counter_reg[src.reg] = true;
+            const ir::OpId def = loop.definingOp(src.reg);
+            if (def >= 0)
+                tail[def] = true;
+        }
+    }
+    // The counter must be dedicated to loop control.
+    for (const auto& op : loop.operations()) {
+        if (tail[op.id])
+            continue;
+        auto check_read = [&](const ir::Operand& src) {
+            if (src.isRegister()) {
+                support::check(!counter_reg[src.reg],
+                               "loop counter register is read outside "
+                               "the control tail; cannot unroll");
+            }
+        };
+        for (const auto& src : op.sources)
+            check_read(src);
+        if (op.guard)
+            check_read(*op.guard);
+    }
+    return tail;
+}
+
+} // namespace
+
+ir::Loop
+unrollLoop(const ir::Loop& loop, int factor)
+{
+    support::check(factor >= 1, "unroll factor must be at least 1");
+    loop.validate();
+
+    const std::vector<bool> tail = findTail(loop);
+
+    ir::Loop out(loop.name() + "_x" + std::to_string(factor));
+
+    // Arrays carry over unchanged.
+    for (const auto& array : loop.arrays())
+        out.addArray(array);
+
+    // Register plan: shared for pure live-ins, per-copy otherwise.
+    // copies[v][u] is the new RegId of copy u (all equal when shared).
+    std::vector<std::vector<ir::RegId>> copies(loop.numRegisters());
+    for (ir::RegId reg = 0; reg < loop.numRegisters(); ++reg) {
+        const auto& info = loop.reg(reg);
+        const bool has_def = loop.definingOp(reg) >= 0;
+        // Skip counter registers (their def lives in the tail).
+        if (has_def && tail[loop.definingOp(reg)])
+            continue;
+        if (!has_def) {
+            const ir::RegId shared = out.addRegister(info);
+            copies[reg].assign(factor, shared);
+        } else {
+            for (int u = 0; u < factor; ++u) {
+                ir::RegisterInfo copy = info;
+                copy.name = info.name + "__" + std::to_string(u);
+                copies[reg].push_back(out.addRegister(copy));
+            }
+        }
+    }
+
+    auto map_operand = [&](const ir::Operand& src, int u) {
+        if (!src.isRegister())
+            return src;
+        const bool has_def = loop.definingOp(src.reg) >= 0;
+        if (!has_def) {
+            // Invariant: same value at any distance.
+            return ir::Operand::makeReg(copies[src.reg][0], 0);
+        }
+        const int source_index = u - src.distance;
+        if (source_index >= 0) {
+            // Defined earlier within the same unrolled iteration.
+            return ir::Operand::makeReg(copies[src.reg][source_index], 0);
+        }
+        const int new_distance =
+            (src.distance - u + factor - 1) / factor;
+        int copy = source_index % factor;
+        if (copy < 0)
+            copy += factor;
+        return ir::Operand::makeReg(copies[src.reg][copy], new_distance);
+    };
+
+    for (int u = 0; u < factor; ++u) {
+        for (const auto& op : loop.operations()) {
+            if (tail[op.id])
+                continue;
+            ir::Operation clone;
+            clone.opcode = op.opcode;
+            clone.comment = op.comment;
+            if (op.hasDest())
+                clone.dest = copies[op.dest][u];
+            for (const auto& src : op.sources)
+                clone.sources.push_back(map_operand(src, u));
+            if (op.guard)
+                clone.guard = map_operand(*op.guard, u);
+            if (op.memRef) {
+                ir::MemRef ref = *op.memRef;
+                ref.offset = op.memRef->stride * u + op.memRef->offset;
+                ref.stride = op.memRef->stride * factor;
+                clone.memRef = ref;
+            }
+            out.addOperation(std::move(clone));
+        }
+    }
+
+    // Fresh back-substituted control tail, one per unrolled iteration.
+    ir::RegisterInfo counter;
+    counter.name = "unroll_n";
+    counter.isLiveIn = true;
+    const ir::RegId n = out.addRegister(counter);
+    ir::Operation decrement;
+    decrement.opcode = ir::Opcode::kAddrSub;
+    decrement.dest = n;
+    decrement.sources = {ir::Operand::makeReg(n, 3),
+                         ir::Operand::makeImm(3.0 * factor)};
+    decrement.comment = "trip count decrement (unrolled)";
+    out.addOperation(std::move(decrement));
+    ir::Operation branch;
+    branch.opcode = ir::Opcode::kBranch;
+    branch.sources = {ir::Operand::makeReg(n, 0)};
+    branch.comment = "loop-closing branch";
+    out.addOperation(std::move(branch));
+
+    out.validate();
+    return out;
+}
+
+sim::SimSpec
+unrolledSimSpec(const ir::Loop& original, const sim::SimSpec& spec,
+                int factor)
+{
+    support::check(factor >= 1 && spec.tripCount % factor == 0,
+                   "trip count must be divisible by the unroll factor");
+    sim::SimSpec out;
+    out.tripCount = spec.tripCount / factor;
+    out.margin = spec.margin;
+    out.arrays = spec.arrays;
+    out.liveIn = spec.liveIn; // invariants keep their names
+
+    for (ir::RegId reg = 0; reg < original.numRegisters(); ++reg) {
+        const auto& info = original.reg(reg);
+        if (!info.isLiveIn || original.definingOp(reg) < 0)
+            continue;
+        // Recurrence register: seed each copy. Copy c at unrolled
+        // iteration -1-j holds the original value of iteration
+        // (-1-j)*factor + c, i.e. original seed index
+        // (j+1)*factor - c - 1.
+        const auto it = spec.seeds.find(info.name);
+        const auto live = spec.liveIn.find(info.name);
+        const double fallback =
+            live != spec.liveIn.end() ? live->second : 0.0;
+        const int depth =
+            (original.maxDistance() + factor - 1) / factor + 1;
+        for (int c = 0; c < factor; ++c) {
+            const std::string name =
+                info.name + "__" + std::to_string(c);
+            out.liveIn[name] = fallback;
+            std::vector<sim::Value> seeds;
+            for (int j = 0; j < depth; ++j) {
+                const int orig_index = (j + 1) * factor - c - 1;
+                if (it != spec.seeds.end() &&
+                    orig_index <
+                        static_cast<int>(it->second.size())) {
+                    seeds.push_back(it->second[orig_index]);
+                } else {
+                    seeds.push_back(fallback);
+                }
+            }
+            out.seeds[name] = std::move(seeds);
+        }
+    }
+    return out;
+}
+
+} // namespace ims::transform

@@ -1,0 +1,45 @@
+#ifndef IMS_TRANSFORM_UNROLL_HPP
+#define IMS_TRANSFORM_UNROLL_HPP
+
+#include "ir/loop.hpp"
+#include "sim/sequential_interpreter.hpp"
+
+namespace ims::transform {
+
+/**
+ * Unroll a loop body `factor` times.
+ *
+ * The paper needs this transform in two places: §2's fractional-MII
+ * recovery ("if the percentage degradation in rounding [the MII] up to
+ * the next larger integer is unacceptably high, the body of the loop may
+ * be unrolled prior to scheduling"), and the comparison against
+ * "unroll-before-scheduling" schemes in §4.3/§5.
+ *
+ * Semantics: iteration I of the unrolled loop performs iterations
+ * I*factor .. I*factor + factor - 1 of the original. Every register
+ * defined in the body is split into `factor` copies named `v__u`;
+ * cross-iteration operand distances are re-derived (a read of v at
+ * distance d in copy u becomes a read of copy (u-d) mod factor at
+ * distance ceil((d-u)/factor)); memory references get their stride
+ * multiplied and per-copy offsets folded in; pure live-ins stay shared.
+ * The loop-control tail (the branch and its dedicated counter decrement)
+ * is stripped and re-emitted once, stepping by 3*factor.
+ *
+ * @throws support::Error if the counter register is read by non-control
+ *         operations (the tail cannot be safely stripped), or factor < 1.
+ */
+ir::Loop unrollLoop(const ir::Loop& loop, int factor);
+
+/**
+ * Map a simulation input for the original loop onto the unrolled loop so
+ * both compute the same memory trace: tripCount must be divisible by
+ * `factor`; array images and invariants are shared; recurrence seeds are
+ * re-indexed per copy (`v__c` at unrolled iteration -1-j is the original
+ * v at iteration -( (j+1)*factor - c )).
+ */
+sim::SimSpec unrolledSimSpec(const ir::Loop& original,
+                             const sim::SimSpec& spec, int factor);
+
+} // namespace ims::transform
+
+#endif // IMS_TRANSFORM_UNROLL_HPP

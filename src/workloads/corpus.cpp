@@ -1,0 +1,55 @@
+#include "workloads/corpus.hpp"
+
+#include "support/error.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace ims::workloads {
+
+std::vector<Workload>
+buildCorpus(const CorpusSpec& spec)
+{
+    std::vector<Workload> corpus;
+    corpus.reserve(spec.perfectLoops + spec.specLoops + spec.lfkLoops);
+
+    // Livermore suite: hand-written kernels (cycled if more requested).
+    const auto library = kernelLibrary();
+    support::check(!library.empty(), "empty kernel library");
+    for (int k = 0; k < spec.lfkLoops; ++k)
+        corpus.push_back(library[k % library.size()]);
+
+    // Perfect Club stand-in: scientific Fortran flavour — slightly larger
+    // bodies, more recurrences.
+    {
+        support::Rng rng(spec.seed);
+        GeneratorProfile profile;
+        profile.pRecurrence = 0.24;
+        profile.pReduction = 0.15;
+        profile.pStreaming = 0.31;
+        for (int k = 0; k < spec.perfectLoops; ++k) {
+            corpus.push_back(Workload{
+                generateLoop(rng, "perfect_" + std::to_string(k), profile),
+                "perfect", "synthetic Perfect Club stand-in"});
+        }
+    }
+
+    // Spec stand-in: more small loops, fewer recurrences.
+    {
+        support::Rng rng(spec.seed ^ 0x5EC5'5EC5ULL);
+        GeneratorProfile profile;
+        profile.pInit = 0.30;
+        profile.pStreaming = 0.40;
+        profile.pReduction = 0.12;
+        profile.pRecurrence = 0.13;
+        profile.pSmall = 0.50;
+        profile.pHuge = 0.03;
+        for (int k = 0; k < spec.specLoops; ++k) {
+            corpus.push_back(Workload{
+                generateLoop(rng, "spec_" + std::to_string(k), profile),
+                "spec", "synthetic Spec stand-in"});
+        }
+    }
+
+    return corpus;
+}
+
+} // namespace ims::workloads

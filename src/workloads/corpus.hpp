@@ -1,0 +1,34 @@
+#ifndef IMS_WORKLOADS_CORPUS_HPP
+#define IMS_WORKLOADS_CORPUS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels.hpp"
+
+namespace ims::workloads {
+
+/** Composition of the experimental corpus. */
+struct CorpusSpec
+{
+    /** Loops per suite, matching §4.1: 1002 + 298 + 27 = 1327 loops. */
+    int perfectLoops = 1002;
+    int specLoops = 298;
+    int lfkLoops = 27;
+    /** Master seed for the random suites. */
+    std::uint64_t seed = 0x1994'0B27ULL; // MICRO-27, November 1994
+};
+
+/**
+ * Build the full synthetic corpus standing in for the paper's 1327
+ * modulo-schedulable loops from the Perfect Club, Spec and Livermore
+ * suites (substitution #1 in DESIGN.md): the "lfk" suite uses the
+ * hand-written kernel library; the "perfect" and "spec" suites are drawn
+ * from the calibrated random generator with slightly different profiles.
+ * Deterministic in `spec.seed`.
+ */
+std::vector<Workload> buildCorpus(const CorpusSpec& spec = {});
+
+} // namespace ims::workloads
+
+#endif // IMS_WORKLOADS_CORPUS_HPP

@@ -1,0 +1,40 @@
+#include "workloads/profile_model.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace ims::workloads {
+
+LoopProfile
+syntheticProfile(int index, std::uint64_t seed)
+{
+    support::Rng rng(seed + static_cast<std::uint64_t>(index) * 0x9E37ULL);
+    LoopProfile profile;
+    profile.executed = rng.bernoulli(0.45);
+    if (!profile.executed)
+        return profile;
+
+    // Entry count: geometric-ish; most loops entered a few times.
+    profile.entryFreq =
+        1 + static_cast<std::uint64_t>(
+                std::floor(std::pow(10.0, rng.uniformReal() * 2.5) - 1.0));
+
+    // Trip count per entry: skewed between 3 and ~2000.
+    const double trips = std::pow(10.0, 0.5 + rng.uniformReal() * 2.8);
+    profile.loopFreq =
+        profile.entryFreq *
+        static_cast<std::uint64_t>(std::max(3.0, std::floor(trips)));
+    return profile;
+}
+
+double
+executionTime(const LoopProfile& profile, int schedule_length, int ii)
+{
+    if (!profile.executed)
+        return 0.0;
+    return static_cast<double>(profile.entryFreq) * schedule_length +
+           static_cast<double>(profile.loopFreq - profile.entryFreq) * ii;
+}
+
+} // namespace ims::workloads

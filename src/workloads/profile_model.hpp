@@ -1,0 +1,40 @@
+#ifndef IMS_WORKLOADS_PROFILE_MODEL_HPP
+#define IMS_WORKLOADS_PROFILE_MODEL_HPP
+
+#include <cstdint>
+
+namespace ims::workloads {
+
+/**
+ * Synthetic execution profile for one loop, standing in for the paper's
+ * benchmark profiling (substitution #2 in DESIGN.md). Execution time is
+ * the paper's §4.3 model:
+ *
+ *   EntryFreq * SL + (LoopFreq - EntryFreq) * II.
+ */
+struct LoopProfile
+{
+    /** True when the loop is executed by the profiled inputs (~45% are,
+     *  597 of 1327 in the paper). */
+    bool executed = false;
+    /** Number of times the loop is entered. */
+    std::uint64_t entryFreq = 0;
+    /** Number of times the loop body is traversed (>= entryFreq). */
+    std::uint64_t loopFreq = 0;
+};
+
+/**
+ * Deterministic profile for loop `index` of the corpus: ~45% of loops
+ * executed, entry counts and trip counts drawn from heavily skewed
+ * distributions (most loops entered a handful of times with modest trip
+ * counts; a few hot loops dominate).
+ */
+LoopProfile syntheticProfile(int index, std::uint64_t seed = 0x90F11EULL);
+
+/** The paper's execution-time formula. */
+double executionTime(const LoopProfile& profile, int schedule_length,
+                     int ii);
+
+} // namespace ims::workloads
+
+#endif // IMS_WORKLOADS_PROFILE_MODEL_HPP

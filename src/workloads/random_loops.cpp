@@ -1,0 +1,352 @@
+#include "workloads/random_loops.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ir/loop_builder.hpp"
+
+namespace ims::workloads {
+
+namespace {
+
+using ir::LoopBuilder;
+using ir::Opcode;
+
+/** Loop category drawn from the profile. */
+enum class Category { kInit, kStreaming, kReduction, kRecurrence,
+                      kPredicated };
+
+/** Mutable state while growing one random loop body. */
+class BodyBuilder
+{
+  public:
+    BodyBuilder(support::Rng& rng, const std::string& name,
+                const GeneratorProfile& profile)
+        : rng_(rng), profile_(profile), b_(name)
+    {
+    }
+
+    ir::Loop
+    generate()
+    {
+        const Category category = pickCategory();
+        const int target = pickTarget(category);
+
+        // Invariants every category can draw operands from.
+        const int num_invariants = rng_.uniformInt(1, 3);
+        for (int k = 0; k < num_invariants; ++k) {
+            const std::string name = "inv" + std::to_string(k);
+            b_.liveIn(name);
+            invariants_.push_back(name);
+        }
+
+        // Address chains: roughly one per dozen operations.
+        const int num_chains =
+            std::clamp(1 + (target - 4) / 14, 1, 4);
+        for (int k = 0; k < num_chains; ++k) {
+            const std::string name = "ax" + std::to_string(k);
+            b_.recurrence(name);
+            b_.op(Opcode::kAddrAdd, name,
+                  {b_.reg(name, 3), b_.imm(24)});
+            chains_.push_back(name);
+            ++ops_;
+        }
+
+        switch (category) {
+          case Category::kInit:
+            growInit();
+            break;
+          case Category::kStreaming:
+            growStreaming(target, false);
+            break;
+          case Category::kReduction:
+            growStreaming(target - 2, false);
+            growReduction();
+            break;
+          case Category::kRecurrence:
+            growStreaming(std::max(4, target - 4), false);
+            growRecurrences();
+            break;
+          case Category::kPredicated:
+            growStreaming(target, true);
+            break;
+        }
+
+        // Loop-control tail.
+        if (rng_.bernoulli(profile_.pRawCounter))
+            b_.closeLoop();
+        else
+            b_.closeLoopBackSubstituted();
+        return b_.build();
+    }
+
+  private:
+    Category
+    pickCategory()
+    {
+        const std::size_t index = rng_.weightedIndex(
+            {profile_.pInit, profile_.pStreaming, profile_.pReduction,
+             profile_.pRecurrence, profile_.pPredicated});
+        return static_cast<Category>(index);
+    }
+
+    int
+    pickTarget(Category category)
+    {
+        if (category == Category::kInit)
+            return rng_.uniformInt(4, 8);
+        const std::size_t size_class = rng_.weightedIndex(
+            {profile_.pSmall, profile_.pMedium, profile_.pLarge,
+             profile_.pHuge});
+        switch (size_class) {
+          case 0:
+            return rng_.uniformInt(5, 10);
+          case 1:
+            return rng_.uniformInt(10, 25);
+          case 2:
+            return rng_.uniformInt(25, 60);
+          default:
+            return rng_.uniformInt(60, 160);
+        }
+    }
+
+    const std::string&
+    randomChain()
+    {
+        return chains_[static_cast<std::size_t>(
+            rng_.uniformInt(0, static_cast<int>(chains_.size()) - 1))];
+    }
+
+    /** Random operand: computed value if possible, else invariant. */
+    ir::Operand
+    randomValue()
+    {
+        if (!values_.empty() && rng_.bernoulli(0.8)) {
+            // Half the time chain off one of the most recent values:
+            // this lengthens critical paths the way real expression
+            // trees do.
+            const int n = static_cast<int>(values_.size());
+            const int lo = rng_.bernoulli(0.5) ? std::max(0, n - 3) : 0;
+            const auto& name = values_[static_cast<std::size_t>(
+                rng_.uniformInt(lo, n - 1))];
+            return b_.reg(name);
+        }
+        if (rng_.bernoulli(0.85)) {
+            const auto& name = invariants_[static_cast<std::size_t>(
+                rng_.uniformInt(
+                    0, static_cast<int>(invariants_.size()) - 1))];
+            return b_.reg(name);
+        }
+        return b_.imm(rng_.uniformReal() * 4.0 - 2.0);
+    }
+
+    std::string
+    freshName(const char* prefix)
+    {
+        return std::string(prefix) + std::to_string(nextId_++);
+    }
+
+    void
+    emitLoad(bool guarded)
+    {
+        const std::string dest = freshName("v");
+        const std::string array =
+            "A" + std::to_string(rng_.uniformInt(0, 3));
+        const int offset = rng_.uniformInt(0, 2);
+        if (guarded && currentGuard_) {
+            b_.loadIf(dest, array, offset, b_.reg(randomChain()),
+                      *currentGuard_);
+        } else {
+            b_.load(dest, array, offset, b_.reg(randomChain()));
+        }
+        values_.push_back(dest);
+        ++ops_;
+    }
+
+    void
+    emitArith(bool guarded)
+    {
+        const std::size_t pick = rng_.weightedIndex(
+            {0.32, 0.14, 0.24, 0.05, 0.05, 0.03, 0.05,
+             rng_.bernoulli(profile_.pExpensiveOp) ? 0.06 : 0.0,
+             rng_.bernoulli(profile_.pExpensiveOp) ? 0.03 : 0.0,
+             0.06});
+        static const Opcode kArith[] = {
+            Opcode::kAdd, Opcode::kSub,  Opcode::kMul, Opcode::kMin,
+            Opcode::kMax, Opcode::kAbs,  Opcode::kCopy, Opcode::kDiv,
+            Opcode::kSqrt, Opcode::kCmpGt};
+        const Opcode opcode = kArith[pick];
+        const std::string dest = freshName("t");
+        std::vector<ir::Operand> sources;
+        for (int k = 0; k < ir::sourceCount(opcode); ++k)
+            sources.push_back(randomValue());
+        if (guarded && currentGuard_)
+            b_.opIf(opcode, dest, std::move(sources), *currentGuard_);
+        else
+            b_.op(opcode, dest, std::move(sources));
+        values_.push_back(dest);
+        ++ops_;
+    }
+
+    void
+    emitStore(bool guarded)
+    {
+        const std::string array =
+            "S" + std::to_string(rng_.uniformInt(0, 2));
+        if (guarded && currentGuard_) {
+            b_.storeIf(array, 0, b_.reg(randomChain()), randomValue(),
+                       *currentGuard_);
+        } else {
+            b_.store(array, 0, b_.reg(randomChain()), randomValue());
+        }
+        ++ops_;
+    }
+
+    void
+    growInit()
+    {
+        // A little invariant arithmetic before the stores, so the size
+        // distribution is not a spike at the minimum.
+        const int fillers = rng_.uniformInt(0, 3);
+        for (int k = 0; k < fillers; ++k)
+            emitArith(false);
+        const int stores = rng_.uniformInt(1, 2);
+        for (int k = 0; k < stores; ++k)
+            emitStore(false);
+    }
+
+    /**
+     * Fill the body towards `target` ops with a load/compute/store mix;
+     * `predicated` inserts a guard definition and guards a fraction of
+     * the body (IF-converted shape).
+     */
+    void
+    growStreaming(int target, bool predicated)
+    {
+        const int tail = 2; // counter + branch appended later
+        if (predicated) {
+            // Guard computed from a loaded value.
+            emitLoad(false);
+            const std::string pred = freshName("p");
+            b_.op(Opcode::kPredSet, pred,
+                  {b_.reg(values_.back()), b_.imm(0.0)});
+            ++ops_;
+            currentGuard_ = b_.reg(pred);
+        }
+        bool stored = false;
+        while (ops_ < target - tail) {
+            const bool guard_this =
+                predicated && rng_.bernoulli(0.55);
+            const std::size_t action = rng_.weightedIndex(
+                {values_.size() < 2 ? 0.8 : 0.3, // load
+                 0.5,                            // arithmetic
+                 0.2});                          // store
+            if (action == 0) {
+                emitLoad(guard_this);
+            } else if (action == 1 || values_.empty()) {
+                emitArith(guard_this);
+            } else {
+                emitStore(guard_this);
+                stored = true;
+            }
+        }
+        if (!stored && !values_.empty())
+            emitStore(false);
+    }
+
+    void
+    growReduction()
+    {
+        const bool raw = rng_.bernoulli(profile_.pRawReduction);
+        const int distance = raw ? 1 : 4;
+        const std::string acc = freshName("acc");
+        b_.recurrence(acc);
+        b_.op(rng_.bernoulli(0.8) ? Opcode::kAdd : Opcode::kMax, acc,
+              {b_.reg(acc, distance), randomValue()});
+        ++ops_;
+    }
+
+    void
+    growRecurrences()
+    {
+        if (rng_.bernoulli(profile_.pMemRecurrence)) {
+            growMemoryRecurrence();
+            if (rng_.bernoulli(0.3))
+                growRegisterRecurrence();
+            return;
+        }
+        const int circuits = rng_.uniformInt(1, 2);
+        for (int c = 0; c < circuits; ++c)
+            growRegisterRecurrence();
+    }
+
+    void
+    growRegisterRecurrence()
+    {
+        const std::string reg = freshName("r");
+        b_.recurrence(reg);
+        // Mostly short circuits; occasionally a deep one (the Table 3
+        // nodes-per-SCC tail reaches 42).
+        const int length = rng_.bernoulli(0.16)
+                               ? rng_.uniformInt(4, 18)
+                               : rng_.uniformInt(2, 4);
+        ir::Operand carried = b_.reg(reg, 1);
+        for (int k = 0; k < length - 1; ++k) {
+            const std::string mid = freshName("rc");
+            b_.op(rng_.bernoulli(0.5) ? Opcode::kAdd : Opcode::kMul,
+                  mid, {carried, randomValue()});
+            carried = b_.reg(mid);
+            values_.push_back(mid);
+            ++ops_;
+        }
+        b_.op(rng_.bernoulli(0.6) ? Opcode::kAdd : Opcode::kMul, reg,
+              {carried, randomValue()});
+        ++ops_;
+    }
+
+    /** a[i] = f(a[i-d], ...): recurrence carried through memory. */
+    void
+    growMemoryRecurrence()
+    {
+        const int distance = rng_.uniformInt(1, 3);
+        const std::string prev = freshName("mr");
+        b_.load(prev, "R", -distance, b_.reg(randomChain()));
+        values_.push_back(prev);
+        ++ops_;
+        const int length = rng_.uniformInt(1, 3);
+        ir::Operand carried = b_.reg(prev);
+        for (int k = 0; k < length; ++k) {
+            const std::string mid = freshName("mc");
+            b_.op(rng_.bernoulli(0.6) ? Opcode::kAdd : Opcode::kMul,
+                  mid, {carried, randomValue()});
+            carried = b_.reg(mid);
+            values_.push_back(mid);
+            ++ops_;
+        }
+        b_.store("R", 0, b_.reg(randomChain()), carried);
+        ++ops_;
+    }
+
+    support::Rng& rng_;
+    const GeneratorProfile& profile_;
+    LoopBuilder b_;
+    std::vector<std::string> invariants_;
+    std::vector<std::string> chains_;
+    std::vector<std::string> values_;
+    std::optional<ir::Operand> currentGuard_;
+    int ops_ = 0;
+    int nextId_ = 0;
+};
+
+} // namespace
+
+ir::Loop
+generateLoop(support::Rng& rng, const std::string& name,
+             const GeneratorProfile& profile)
+{
+    BodyBuilder builder(rng, name, profile);
+    return builder.generate();
+}
+
+} // namespace ims::workloads

@@ -1,0 +1,55 @@
+#ifndef IMS_WORKLOADS_RANDOM_LOOPS_HPP
+#define IMS_WORKLOADS_RANDOM_LOOPS_HPP
+
+#include <cstdint>
+
+#include "ir/loop.hpp"
+#include "support/rng.hpp"
+
+namespace ims::workloads {
+
+/**
+ * Knobs of the calibrated random loop generator. The defaults are tuned so
+ * a large sample reproduces the input-side distributions of the paper's
+ * Table 3 (operation counts with median ~12 / mean ~19.5 / max 163, ~77%
+ * of loops with no non-trivial SCC, SCC sizes heavily skewed towards 1,
+ * about three dependence-graph edges per operation).
+ */
+struct GeneratorProfile
+{
+    /** Probability of each loop category. */
+    double pInit = 0.27;       ///< tiny initialization loops
+    double pStreaming = 0.34;  ///< vectorizable load/compute/store bodies
+    double pReduction = 0.14;  ///< accumulator loops (some back-subst.)
+    double pRecurrence = 0.20; ///< loops with 2+-op recurrence circuits
+    double pPredicated = 0.05; ///< IF-converted bodies with guards
+
+    /** Within eligible categories, chance a reduction stays raw (dist 1). */
+    double pRawReduction = 0.35;
+    /** Chance the loop-control counter stays raw (not back-substituted). */
+    double pRawCounter = 0.05;
+    /** Chance a streaming loop mixes in divide/sqrt operations. */
+    double pExpensiveOp = 0.08;
+    /** Within the recurrence category, chance of a memory-carried
+     *  recurrence (load a[i-d] ... store a[i]) whose 20-cycle load makes
+     *  RecMII large (the Table 3 long tail). */
+    double pMemRecurrence = 0.35;
+
+    /** Size-class weights (small, medium, large, huge bodies). */
+    double pSmall = 0.42;  ///< ~4-10 operations
+    double pMedium = 0.36; ///< ~10-25 operations
+    double pLarge = 0.17;  ///< ~25-60 operations
+    double pHuge = 0.05;   ///< ~60-160 operations
+};
+
+/**
+ * Generate one pseudo-random loop. The result always validates, is in
+ * intra-iteration topological order (simulatable), and contains the
+ * canonical loop-control tail. Deterministic in (`rng` state, `name`).
+ */
+ir::Loop generateLoop(support::Rng& rng, const std::string& name,
+                      const GeneratorProfile& profile = {});
+
+} // namespace ims::workloads
+
+#endif // IMS_WORKLOADS_RANDOM_LOOPS_HPP

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "codegen/code_generator.hpp"
+#include "codegen/emit.hpp"
+#include "codegen/lifetimes.hpp"
+#include "codegen/mve.hpp"
+#include "codegen/register_allocator.hpp"
+#include "core/pipeliner.hpp"
+#include "machine/cydra5.hpp"
+#include "sim/section_executor.hpp"
+#include "support/error.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace ims;
+
+core::PipelineArtifacts
+pipelineKernel(const std::string& name)
+{
+    static const machine::MachineModel machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    return pipeliner.pipeline(workloads::kernelByName(name).loop);
+}
+
+TEST(KernelTest, StageAndSlotDecomposeScheduleTime)
+{
+    const auto artifacts = pipelineKernel("daxpy");
+    const auto& schedule = artifacts.outcome.schedule;
+    const auto& kernel = artifacts.code.kernel;
+    for (const auto& placement : kernel.placements) {
+        EXPECT_EQ(placement.stage * schedule.ii + placement.slot,
+                  schedule.times[placement.op]);
+        EXPECT_GE(placement.slot, 0);
+        EXPECT_LT(placement.slot, schedule.ii);
+        EXPECT_LT(placement.stage, kernel.stageCount);
+    }
+}
+
+TEST(KernelTest, RowsPartitionTheOps)
+{
+    const auto artifacts = pipelineKernel("hydro_frag");
+    const auto& kernel = artifacts.code.kernel;
+    int total = 0;
+    for (int slot = 0; slot < kernel.ii; ++slot)
+        total += static_cast<int>(kernel.rowOf(slot).size());
+    EXPECT_EQ(total, static_cast<int>(kernel.placements.size()));
+}
+
+TEST(LifetimeTest, DefToLastUseSpansIiTimesDistance)
+{
+    // dot_bs4: s = add s[4], t. The accumulator's value is used 4
+    // iterations later, so its lifetime is at least 4 * II.
+    const auto artifacts = pipelineKernel("dot_bs4");
+    const auto& schedule = artifacts.outcome.schedule;
+    bool found = false;
+    for (const auto& lifetime : artifacts.lifetimes.lifetimes) {
+        if (lifetime.length() >= 4 * schedule.ii) {
+            found = true;
+        }
+        EXPECT_GE(lifetime.length(), 1);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LifetimeTest, UnusedResultStillLivesForItsLatency)
+{
+    const auto machine = machine::cydra5();
+    const auto w = workloads::kernelByName("init_store");
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    for (const auto& lifetime : artifacts.lifetimes.lifetimes) {
+        const auto opcode = w.loop.operation(lifetime.def).opcode;
+        EXPECT_GE(lifetime.length(), machine.latency(opcode));
+    }
+}
+
+TEST(MveTest, UnrollCoversLongestLifetime)
+{
+    for (const char* name : {"daxpy", "dot_bs4", "vec_copy", "tridiag"}) {
+        const auto artifacts = pipelineKernel(name);
+        const int ii = artifacts.outcome.schedule.ii;
+        int expected = 1;
+        for (const auto& lifetime : artifacts.lifetimes.lifetimes)
+            expected = std::max(expected,
+                                (lifetime.length() + ii - 1) / ii);
+        EXPECT_EQ(artifacts.code.mve.unroll, expected) << name;
+        EXPECT_EQ(artifacts.lifetimes.kmin, expected) << name;
+    }
+}
+
+TEST(CodeGenTest, InstanceConservationAcrossTripCounts)
+{
+    // prologue + (T - SC + 1) kernels + epilogue must contain exactly
+    // T * numOps instances.
+    for (const char* name :
+         {"daxpy", "init_store", "mem_recurrence", "fat_loop"}) {
+        const auto artifacts = pipelineKernel(name);
+        const auto& code = artifacts.code;
+        const int n = static_cast<int>(
+            artifacts.outcome.schedule.times.size());
+        for (int trip :
+             {code.kernel.stageCount, code.kernel.stageCount + 1, 50,
+              173}) {
+            if (trip < code.kernel.stageCount)
+                continue;
+            EXPECT_EQ(code.totalInstances(trip),
+                      static_cast<long long>(trip) * n)
+                << name << " trip " << trip;
+        }
+    }
+}
+
+TEST(CodeGenTest, SectionCycleCounts)
+{
+    const auto artifacts = pipelineKernel("daxpy");
+    const auto& code = artifacts.code;
+    const int ii = artifacts.outcome.schedule.ii;
+    const int ramp = (code.kernel.stageCount - 1) * ii;
+    EXPECT_EQ(code.prologue.numCycles(), ramp);
+    EXPECT_EQ(code.kernelSection.numCycles(), ii);
+    EXPECT_EQ(code.epilogue.numCycles(), ramp);
+}
+
+TEST(CodeGenTest, KernelSectionHoldsEveryOpOnce)
+{
+    const auto artifacts = pipelineKernel("state_frag");
+    EXPECT_EQ(artifacts.code.kernelSection.numInstances(),
+              static_cast<int>(artifacts.outcome.schedule.times.size()));
+}
+
+TEST(CodeGenTest, CodeExpansionIsBoundedByStagesPlusUnroll)
+{
+    const auto artifacts = pipelineKernel("vec_copy");
+    const double ratio = artifacts.code.codeExpansionRatio(
+        artifacts.outcome.schedule.scheduleLength);
+    EXPECT_GT(ratio, 0.0);
+    // prologue + epilogue + unrolled kernel <= 2 SL + unroll * II worth.
+    EXPECT_LT(ratio, 4.0);
+}
+
+TEST(RegisterAllocTest, RotatingBlocksDoNotOverlap)
+{
+    const auto artifacts = pipelineKernel("dot_bs4");
+    std::vector<std::pair<int, int>> blocks; // (base, copies)
+    for (const auto& a : artifacts.registers.assignments) {
+        if (a.rotating)
+            blocks.emplace_back(a.base, a.copies);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+        EXPECT_GE(blocks[i].first,
+                  blocks[i - 1].first + blocks[i - 1].second);
+    }
+}
+
+TEST(RegisterAllocTest, TotalsMatchAssignments)
+{
+    const auto artifacts = pipelineKernel("daxpy");
+    int rotating = 0, statics = 0;
+    for (const auto& a : artifacts.registers.assignments) {
+        if (a.rotating)
+            rotating += a.copies;
+        else
+            statics += 1;
+    }
+    EXPECT_EQ(artifacts.registers.rotatingRegisters, rotating);
+    EXPECT_EQ(artifacts.registers.staticRegisters, statics);
+}
+
+TEST(RegisterAllocTest, PhysicalNamesCycleModuloCopies)
+{
+    const auto artifacts = pipelineKernel("dot_bs4");
+    for (const auto& a : artifacts.registers.assignments) {
+        if (!a.rotating || a.copies < 2)
+            continue;
+        const auto& alloc = artifacts.registers;
+        EXPECT_EQ(alloc.physicalName(a.reg, 0),
+                  alloc.physicalName(a.reg, a.copies));
+        EXPECT_NE(alloc.physicalName(a.reg, 0),
+                  alloc.physicalName(a.reg, 1));
+    }
+}
+
+TEST(EmitTest, ListingMentionsAllSections)
+{
+    const auto machine = machine::cydra5();
+    const auto w = workloads::kernelByName("daxpy");
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    const std::string listing = codegen::emitListing(
+        w.loop, artifacts.code, artifacts.registers);
+    EXPECT_NE(listing.find("prologue"), std::string::npos);
+    EXPECT_NE(listing.find("kernel"), std::string::npos);
+    EXPECT_NE(listing.find("epilogue"), std::string::npos);
+    EXPECT_NE(listing.find("rr"), std::string::npos); // rotating regs
+}
+
+TEST(EmitTest, KernelDumpShowsStages)
+{
+    const auto machine = machine::cydra5();
+    const auto w = workloads::kernelByName("daxpy");
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    const std::string text = codegen::emitKernel(w.loop, artifacts.code);
+    EXPECT_NE(text.find("stage"), std::string::npos);
+    EXPECT_NE(text.find("row 0"), std::string::npos);
+}
+
+TEST(SectionExecutorTest, GeneratedCodeMatchesSequentialSemantics)
+{
+    // Executing the prologue / kernel-repetitions / epilogue structure
+    // (not the flat schedule) must still reproduce the reference
+    // semantics exactly — this validates the emitted code's instance
+    // bookkeeping end-to-end.
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    for (const char* name :
+         {"daxpy", "init_store", "dot_bs4", "first_order_rec",
+          "mem_recurrence", "cond_store", "argmax_like", "iccg_like",
+          "fat_loop"}) {
+        const auto w = workloads::kernelByName(name);
+        const auto artifacts = pipeliner.pipeline(w.loop);
+        const int trip =
+            std::max(40, artifacts.code.kernel.stageCount + 3);
+        const auto spec = workloads::makeSimSpec(w.loop, trip, 21);
+        const auto seq = sim::runSequential(w.loop, spec);
+        const auto sections =
+            sim::runGeneratedCode(w.loop, artifacts.code, spec);
+        EXPECT_TRUE(sim::equivalent(seq, sections)) << name;
+    }
+}
+
+TEST(SectionExecutorTest, ShortTripCountsRejected)
+{
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto w = workloads::kernelByName("vec_copy"); // many stages
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    ASSERT_GT(artifacts.code.kernel.stageCount, 2);
+    const auto spec = workloads::makeSimSpec(
+        w.loop, artifacts.code.kernel.stageCount - 1, 3);
+    EXPECT_THROW(sim::runGeneratedCode(w.loop, artifacts.code, spec),
+                 support::Error);
+}
+
+TEST(KernelOnlyTest, MatchesSequentialSemantics)
+{
+    // The [36] kernel-only schema (stage predicates, no prologue or
+    // epilogue) must execute to the same final state, including for trip
+    // counts below the stage count, which it handles naturally.
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    for (const char* name :
+         {"daxpy", "vec_copy", "first_order_rec", "cond_store",
+          "mem_recurrence"}) {
+        const auto w = workloads::kernelByName(name);
+        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto kernel_only = codegen::generateKernelOnly(
+            w.loop, artifacts.outcome.schedule);
+        for (const int trip : {2, artifacts.code.kernel.stageCount, 40}) {
+            const auto spec = workloads::makeSimSpec(w.loop, trip, 31);
+            const auto seq = sim::runSequential(w.loop, spec);
+            const auto ko =
+                sim::runKernelOnly(w.loop, kernel_only, spec);
+            EXPECT_TRUE(sim::equivalent(seq, ko))
+                << name << " trip " << trip;
+        }
+    }
+}
+
+TEST(KernelOnlyTest, CodeSizeIsExactlyTheIi)
+{
+    const auto artifacts = pipelineKernel("daxpy");
+    const auto w = workloads::kernelByName("daxpy");
+    const auto kernel_only =
+        codegen::generateKernelOnly(w.loop, artifacts.outcome.schedule);
+    EXPECT_EQ(kernel_only.codeCycles(), artifacts.outcome.schedule.ii);
+    EXPECT_EQ(kernel_only.repetitions(100),
+              100 + kernel_only.stageCount - 1);
+    int placements = 0;
+    for (const auto& cycle : kernel_only.cycles)
+        placements += static_cast<int>(cycle.size());
+    EXPECT_EQ(placements, w.loop.size());
+}
+
+TEST(KernelOnlyTest, EmissionShowsStagePredicates)
+{
+    const auto artifacts = pipelineKernel("daxpy");
+    const auto w = workloads::kernelByName("daxpy");
+    const auto kernel_only =
+        codegen::generateKernelOnly(w.loop, artifacts.outcome.schedule);
+    const std::string text =
+        codegen::emitKernelOnly(w.loop, kernel_only);
+    EXPECT_NE(text.find("if sp["), std::string::npos);
+    EXPECT_NE(text.find("brtop"), std::string::npos);
+}
+
+TEST(EmitTest, MveUnrolledKernelEmitsEachCopy)
+{
+    const auto machine = machine::cydra5();
+    const auto w = workloads::kernelByName("vec_copy"); // big unroll
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    ASSERT_GT(artifacts.code.mve.unroll, 1);
+    const std::string listing = codegen::emitListing(
+        w.loop, artifacts.code, artifacts.registers);
+    EXPECT_NE(listing.find("kernel (copy 0)"), std::string::npos);
+    EXPECT_NE(listing.find("kernel (copy 1)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeliner.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/scc.hpp"
+#include "machine/cydra5.hpp"
+#include "mii/mii.hpp"
+#include "sched/modulo_scheduler.hpp"
+#include "support/stats.hpp"
+#include "workloads/corpus.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace ims;
+
+/**
+ * Golden regression values: the achieved II per kernel on the Cydra-5
+ * model is pinned exactly (the scheduler is deterministic). A change here
+ * means the algorithm's behaviour changed — update deliberately, never
+ * casually.
+ */
+struct Golden
+{
+    const char* kernel;
+    int mii;
+    int ii;
+};
+
+constexpr Golden kGolden[] = {
+    {"init_store", 1, 1},    {"vec_copy", 1, 1},
+    {"vec_scale", 1, 1},     {"daxpy", 2, 2},
+    {"dot_raw", 4, 4},       {"dot_bs4", 2, 2},
+    {"first_order_rec", 9, 9}, {"tridiag", 9, 9},
+    {"hydro_frag", 5, 5},    {"state_frag", 8, 8},
+    {"stencil3", 3, 3},      {"mem_recurrence", 30, 30},
+    {"cond_store", 2, 2},    {"max_reduce", 4, 4},
+    {"div_kernel", 18, 18},  {"sqrt_kernel", 22, 22},
+    {"horner_rec", 9, 9},    {"raw_counter", 3, 3},
+    {"lfk20_ordinates", 31, 31}, {"fir8", 15, 15},
+    {"complex_mult", 6, 6},  {"dual_store", 2, 2},
+};
+
+TEST(GoldenTest, KernelIisOnCydra5)
+{
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    for (const auto& golden : kGolden) {
+        const auto w = workloads::kernelByName(golden.kernel);
+        const auto artifacts = pipeliner.pipeline(w.loop);
+        EXPECT_EQ(artifacts.outcome.mii, golden.mii) << golden.kernel;
+        EXPECT_EQ(artifacts.outcome.schedule.ii, golden.ii)
+            << golden.kernel;
+    }
+}
+
+/**
+ * Corpus-level invariants behind Table 3: guard the workload calibration
+ * so a generator change that breaks the paper's shape fails loudly. Run
+ * on a 250-loop slice to keep the test fast.
+ */
+TEST(GoldenTest, CorpusShapeMatchesTable3Bands)
+{
+    const auto machine = machine::cydra5();
+    workloads::CorpusSpec spec;
+    spec.perfectLoops = 180;
+    spec.specLoops = 50;
+    spec.lfkLoops = 20;
+    const auto corpus = workloads::buildCorpus(spec);
+
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 6.0;
+
+    std::vector<double> ops, at_mii, vectorizable, rec_le_res;
+    for (const auto& w : corpus) {
+        const auto g = graph::buildDepGraph(w.loop, machine);
+        const auto sccs = graph::findSccs(g);
+        const auto mii = mii::computeMii(w.loop, machine, g, sccs);
+        const auto outcome =
+            sched::moduloSchedule(w.loop, machine, g, sccs, options);
+        ops.push_back(w.loop.size());
+        at_mii.push_back(outcome.schedule.ii == mii.mii ? 1.0 : 0.0);
+        int non_trivial = 0;
+        for (const auto& component : sccs.components()) {
+            non_trivial += !g.isPseudo(component.front()) &&
+                           component.size() > 1;
+        }
+        vectorizable.push_back(non_trivial == 0 ? 1.0 : 0.0);
+        rec_le_res.push_back(
+            mii::computeTrueRecMii(g, sccs) <= mii.resMii ? 1.0 : 0.0);
+    }
+
+    // Loop sizes: median near the paper's ~12, mean near ~19.5.
+    EXPECT_GE(support::median(ops), 6.0);
+    EXPECT_LE(support::median(ops), 18.0);
+    EXPECT_GE(support::mean(ops), 12.0);
+    EXPECT_LE(support::mean(ops), 28.0);
+    // Near-universal optimality (paper: 96%).
+    EXPECT_GE(support::mean(at_mii), 0.90);
+    // Vectorizable fraction (paper: 77%).
+    EXPECT_GE(support::mean(vectorizable), 0.60);
+    EXPECT_LE(support::mean(vectorizable), 0.95);
+    // RecMII below ResMII for most loops (paper: 84%).
+    EXPECT_GE(support::mean(rec_le_res), 0.60);
+}
+
+/**
+ * Figure 6 shape invariants on a small corpus slice: dilation falls as
+ * the budget grows; inefficiency is no better at a starved budget than
+ * near the paper's optimum.
+ */
+TEST(GoldenTest, BudgetRatioCurveShape)
+{
+    const auto machine = machine::cydra5();
+    workloads::CorpusSpec spec;
+    spec.perfectLoops = 120;
+    spec.specLoops = 40;
+    spec.lfkLoops = 20;
+    const auto corpus = workloads::buildCorpus(spec);
+
+    auto sweep = [&](double budget_ratio) {
+        sched::ModuloScheduleOptions options;
+        options.budgetRatio = budget_ratio;
+        long long steps = 0, ops = 0;
+        double ii_sum = 0.0, mii_sum = 0.0;
+        for (const auto& w : corpus) {
+            const auto g = graph::buildDepGraph(w.loop, machine);
+            const auto sccs = graph::findSccs(g);
+            const auto outcome =
+                sched::moduloSchedule(w.loop, machine, g, sccs, options);
+            steps += outcome.totalSteps;
+            ops += w.loop.size() + 2;
+            ii_sum += outcome.schedule.ii;
+            mii_sum += outcome.mii;
+        }
+        return std::make_pair(static_cast<double>(steps) / ops,
+                              ii_sum / mii_sum);
+    };
+
+    const auto [ineff_1, ii_1] = sweep(1.0);
+    const auto [ineff_2, ii_2] = sweep(2.0);
+    const auto [ineff_4, ii_4] = sweep(4.0);
+
+    // Quality improves (weakly) with budget.
+    EXPECT_GE(ii_1, ii_2);
+    EXPECT_GE(ii_2, ii_4);
+    // A starved budget wastes whole attempts: worse inefficiency than
+    // the recommended setting (the left side of Figure 6's U).
+    EXPECT_GT(ineff_1, ineff_2);
+    // And a lavish budget spends more per op than the optimum region
+    // (the right side of the U rises slowly).
+    EXPECT_GE(ineff_4, ineff_2 * 0.95);
+}
+
+} // namespace

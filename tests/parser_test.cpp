@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace ims;
+
+const char* kDaxpyText = R"(
+; daxpy: y[i] += a * x[i]
+loop daxpy
+livein a
+recurrence ax
+ax = aadd ax[3], #24
+xv = load ax @ X 0
+yv = load ax @ Y 0
+t  = mul a, xv
+s  = add t, yv
+_  = store ax, s @ Y 0
+recurrence n
+n  = asub n[3], #3
+_  = branch n
+)";
+
+TEST(ParserTest, ParsesDaxpy)
+{
+    const ir::Loop loop = ir::parseLoop(kDaxpyText);
+    EXPECT_EQ(loop.name(), "daxpy");
+    EXPECT_EQ(loop.size(), 8);
+    EXPECT_EQ(loop.numArrays(), 2);
+    EXPECT_EQ(loop.maxDistance(), 3);
+    EXPECT_NO_THROW(loop.validate());
+}
+
+TEST(ParserTest, ParsesGuardedOperations)
+{
+    const char* text = R"(
+loop guarded
+recurrence ax
+ax = aadd ax[3], #24
+x = load ax @ X 0
+p = predset x, #0
+_ = store ax, x @ Y 0 if p
+recurrence n
+n = asub n[3], #3
+_ = branch n
+)";
+    const ir::Loop loop = ir::parseLoop(text);
+    EXPECT_EQ(loop.size(), 6);
+    bool found_guard = false;
+    for (const auto& op : loop.operations())
+        found_guard = found_guard || op.guard.has_value();
+    EXPECT_TRUE(found_guard);
+}
+
+TEST(ParserTest, ParsesGuardWithDistance)
+{
+    const char* text = R"(
+loop g2
+predicate p
+recurrence ax
+ax = aadd ax[3], #24
+_ = store ax, #1 @ Y 0 if p[2]
+recurrence n
+n = asub n[3], #3
+_ = branch n
+)";
+    const ir::Loop loop = ir::parseLoop(text);
+    bool checked = false;
+    for (const auto& op : loop.operations()) {
+        if (op.guard) {
+            EXPECT_EQ(op.guard->distance, 2);
+            checked = true;
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(ParserTest, ImmediateOperands)
+{
+    const char* text = R"(
+loop imms
+livein a
+t = add a, #-2.5
+recurrence n
+n = asub n[3], #3
+_ = branch n
+)";
+    const ir::Loop loop = ir::parseLoop(text);
+    const auto& op = loop.operation(0);
+    ASSERT_EQ(op.sources.size(), 2u);
+    EXPECT_FALSE(op.sources[1].isRegister());
+    EXPECT_DOUBLE_EQ(op.sources[1].immediate, -2.5);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers)
+{
+    const char* text = "loop t\nx = bogus a, b\n";
+    try {
+        ir::parseLoop(text);
+        FAIL() << "must throw";
+    } catch (const support::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    }
+}
+
+TEST(ParserTest, MissingLoopDirective)
+{
+    EXPECT_THROW(ir::parseLoop("x = add a, b\n"), support::Error);
+}
+
+TEST(ParserTest, EmptyTextRejected)
+{
+    EXPECT_THROW(ir::parseLoop("\n# nothing\n"), support::Error);
+}
+
+TEST(ParserTest, LoadWithoutMemRefRejected)
+{
+    const char* text = R"(
+loop t
+livein a
+x = load a
+)";
+    EXPECT_THROW(ir::parseLoop(text), support::Error);
+}
+
+TEST(ParserTest, UndefinedOperandRejectedWithLine)
+{
+    const char* text = "loop t\nx = add ghost, #1\n";
+    try {
+        ir::parseLoop(text);
+        FAIL() << "must throw";
+    } catch (const support::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(ParserTest, BadDistanceRejected)
+{
+    const char* text = "loop t\nlivein a\nx = copy a[zz]\n";
+    EXPECT_THROW(ir::parseLoop(text), support::Error);
+}
+
+TEST(ParserTest, StridedMemoryReference)
+{
+    const char* text = R"(
+loop strided
+recurrence ax
+ax = aadd ax[3], #24
+x = load ax @ X 1 2
+_ = store ax, x @ Y 0
+recurrence n
+n = asub n[3], #3
+_ = branch n
+)";
+    const ir::Loop loop = ir::parseLoop(text);
+    const auto& load = loop.operation(1);
+    ASSERT_TRUE(load.memRef.has_value());
+    EXPECT_EQ(load.memRef->offset, 1);
+    EXPECT_EQ(load.memRef->stride, 2);
+    const auto& store = loop.operation(2);
+    EXPECT_EQ(store.memRef->stride, 1);
+}
+
+TEST(ParserTest, MalformedMemRefRejected)
+{
+    const char* text = "loop t\nlivein a\nx = load a @ X\n";
+    EXPECT_THROW(ir::parseLoop(text), support::Error);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeliner.hpp"
+#include "core/report.hpp"
+#include "ir/parser.hpp"
+#include "machine/cydra5.hpp"
+#include "machine/machines.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace ims;
+
+TEST(PipelinerTest, EndToEndDaxpy)
+{
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto w = workloads::kernelByName("daxpy");
+    const auto artifacts = pipeliner.pipeline(w.loop);
+
+    EXPECT_EQ(artifacts.outcome.schedule.ii, 2);
+    EXPECT_GE(artifacts.outcome.schedule.scheduleLength,
+              artifacts.minScheduleLength);
+    EXPECT_GE(artifacts.listSchedule.scheduleLength,
+              artifacts.outcome.schedule.ii);
+    EXPECT_GE(artifacts.code.kernel.stageCount, 1);
+    EXPECT_GE(artifacts.registers.rotatingRegisters, 1);
+}
+
+TEST(PipelinerTest, WorksOnParsedMiniIr)
+{
+    const char* text = R"(
+loop from_text
+livein a
+recurrence ax
+ax = aadd ax[3], #24
+x = load ax @ X 0
+t = mul a, x
+_ = store ax, t @ Y 0
+recurrence n
+n = asub n[3], #3
+_ = branch n
+)";
+    const auto loop = ir::parseLoop(text);
+    core::SoftwarePipeliner pipeliner(machine::cydra5());
+    const auto artifacts = pipeliner.pipeline(loop);
+    EXPECT_EQ(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
+}
+
+TEST(PipelinerTest, ReportContainsKeyFacts)
+{
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto w = workloads::kernelByName("tridiag");
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    const std::string text = core::report(w.loop, machine, artifacts);
+    EXPECT_NE(text.find("MII = 9"), std::string::npos);
+    EXPECT_NE(text.find("achieved II = 9"), std::string::npos);
+    EXPECT_NE(text.find("kernel"), std::string::npos);
+    EXPECT_NE(text.find("speedup"), std::string::npos);
+
+    const std::string line = core::summaryLine(w.loop, artifacts);
+    EXPECT_NE(line.find("tridiag"), std::string::npos);
+    EXPECT_NE(line.find("II=9"), std::string::npos);
+}
+
+TEST(PipelinerTest, ConservativeDelayModeStillPipelines)
+{
+    core::PipelinerOptions options;
+    options.graph.delayMode = graph::DelayMode::kConservative;
+    core::SoftwarePipeliner pipeliner(machine::cydra5(), options);
+    const auto w = workloads::kernelByName("daxpy");
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    EXPECT_GE(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
+}
+
+TEST(PipelinerTest, CountersAggregateAcrossPhases)
+{
+    core::SoftwarePipeliner pipeliner(machine::cydra5());
+    const auto w = workloads::kernelByName("state_frag");
+    support::Counters counters;
+    pipeliner.pipeline(w.loop, &counters);
+    EXPECT_GT(counters.resMiiInspections, 0u);
+    EXPECT_GT(counters.minDistInvocations, 0u);
+    EXPECT_GT(counters.heightRInnerSteps, 0u);
+    EXPECT_GT(counters.estartPredecessorVisits, 0u);
+    EXPECT_GT(counters.findTimeSlotProbes, 0u);
+    EXPECT_GT(counters.scheduleSteps, 0u);
+}
+
+TEST(PipelinerTest, MachineSweepAllKernels)
+{
+    for (const auto& machine :
+         {machine::cydra5(), machine::clean64(), machine::wideVliw(),
+          machine::scalarToy()}) {
+        core::SoftwarePipeliner pipeliner(machine);
+        for (const auto& w : workloads::kernelLibrary()) {
+            const auto artifacts = pipeliner.pipeline(w.loop);
+            EXPECT_GE(artifacts.outcome.schedule.ii,
+                      artifacts.outcome.mii)
+                << machine.name() << "/" << w.loop.name();
+        }
+    }
+}
+
+TEST(PipelinerTest, WiderMachineNeverRaisesIi)
+{
+    core::SoftwarePipeliner narrow(machine::clean64());
+    core::SoftwarePipeliner wide(machine::wideVliw());
+    for (const auto& w : workloads::kernelLibrary()) {
+        const auto a = narrow.pipeline(w.loop);
+        const auto b = wide.pipeline(w.loop);
+        EXPECT_LE(b.outcome.schedule.ii, a.outcome.schedule.ii)
+            << w.loop.name();
+    }
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/pipeliner.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/scc.hpp"
+#include "machine/cydra5.hpp"
+#include "machine/machines.hpp"
+#include "mii/mii.hpp"
+#include "mii/rec_mii.hpp"
+#include "sched/verifier.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "sim/sequential_interpreter.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace {
+
+using namespace ims;
+
+machine::MachineModel
+machineByName(const std::string& name)
+{
+    if (name == "cydra5")
+        return machine::cydra5();
+    if (name == "clean64")
+        return machine::clean64();
+    if (name == "wide-vliw")
+        return machine::wideVliw();
+    return machine::scalarToy();
+}
+
+std::vector<std::string>
+kernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto& w : workloads::kernelLibrary())
+        names.push_back(w.loop.name());
+    return names;
+}
+
+/**
+ * Invariant sweep over (kernel, machine): every schedule the pipeliner
+ * produces is verified legal, II and SL respect their lower bounds, and
+ * executing the pipelined schedule is bit-identical to the sequential
+ * reference.
+ */
+class KernelMachineProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(KernelMachineProperty, ScheduleLegalAndSemanticsPreserved)
+{
+    const auto [kernel_name, machine_name] = GetParam();
+    const auto machine = machineByName(machine_name);
+    const auto w = workloads::kernelByName(kernel_name);
+
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto& schedule = artifacts.outcome.schedule;
+
+    // II bounds.
+    EXPECT_GE(schedule.ii, artifacts.outcome.mii);
+    EXPECT_GE(artifacts.outcome.mii, artifacts.outcome.resMii);
+
+    // Legality (the pipeliner already verified; double-check here so the
+    // property holds even with verify disabled).
+    EXPECT_TRUE(sched::verifySchedule(w.loop, machine, artifacts.depGraph,
+                                      schedule)
+                    .empty());
+
+    // Schedule length within bounds.
+    EXPECT_GE(schedule.scheduleLength, artifacts.minScheduleLength);
+
+    // Semantic equivalence at two trip counts (one barely above the stage
+    // count, one comfortably larger).
+    for (const int trip : {artifacts.code.kernel.stageCount + 1, 37}) {
+        const auto spec = workloads::makeSimSpec(w.loop, trip, 1234);
+        const auto seq = sim::runSequential(w.loop, spec);
+        const auto pipe = sim::runPipelined(w.loop, schedule, spec);
+        EXPECT_TRUE(sim::equivalent(seq, pipe.state)) << "trip " << trip;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllMachines, KernelMachineProperty,
+    ::testing::Combine(::testing::ValuesIn(kernelNames()),
+                       ::testing::Values("cydra5", "clean64", "wide-vliw",
+                                         "scalar-toy")),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, std::string>>& info) {
+        std::string name = std::get<0>(info.param) + "_on_" +
+                           std::get<1>(info.param);
+        for (auto& c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+/** Property sweep over random loops: generate, schedule, verify, run. */
+class RandomLoopProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomLoopProperty, RandomLoopsScheduleVerifyAndSimulate)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+
+    for (int k = 0; k < 25; ++k) {
+        const auto loop = workloads::generateLoop(
+            rng, "prop_" + std::to_string(GetParam()) + "_" +
+                     std::to_string(k));
+        const auto artifacts = pipeliner.pipeline(loop);
+        EXPECT_TRUE(sched::verifySchedule(loop, machine,
+                                          artifacts.depGraph,
+                                          artifacts.outcome.schedule)
+                        .empty())
+            << loop.name();
+
+        const auto spec = workloads::makeSimSpec(loop, 20, 99);
+        const auto seq = sim::runSequential(loop, spec);
+        const auto pipe =
+            sim::runPipelined(loop, artifacts.outcome.schedule, spec);
+        EXPECT_TRUE(sim::equivalent(seq, pipe.state)) << loop.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLoopProperty,
+                         ::testing::Range(0, 8));
+
+/**
+ * RecMII agreement property on random loops: circuit enumeration and the
+ * per-SCC MinDist search must produce the same bound.
+ */
+class RecMiiAgreementProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RecMiiAgreementProperty, CircuitsAgreeWithMinDist)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+    const auto machine = machine::cydra5();
+    for (int k = 0; k < 25; ++k) {
+        const auto loop = workloads::generateLoop(rng, "rm");
+        const auto g = graph::buildDepGraph(loop, machine);
+        const auto sccs = graph::findSccs(g);
+        const int per_scc = mii::computeRecMiiPerScc(g, sccs, 1);
+        const int circuits = mii::computeRecMiiFromCircuits(g);
+        EXPECT_EQ(per_scc, circuits) << loop.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecMiiAgreementProperty,
+                         ::testing::Range(0, 4));
+
+/**
+ * BudgetRatio monotonicity-ish property: a generous budget never yields a
+ * worse II than the same scheduler with a tight budget.
+ */
+class BudgetProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BudgetProperty, LargerBudgetNeverWorsensIi)
+{
+    support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    const auto machine = machine::cydra5();
+    for (int k = 0; k < 10; ++k) {
+        const auto loop = workloads::generateLoop(rng, "b");
+        const auto g = graph::buildDepGraph(loop, machine);
+        const auto sccs = graph::findSccs(g);
+        sched::ModuloScheduleOptions tight;
+        tight.budgetRatio = 1.0;
+        sched::ModuloScheduleOptions generous;
+        generous.budgetRatio = 8.0;
+        const auto a = sched::moduloSchedule(loop, machine, g, sccs, tight);
+        const auto b =
+            sched::moduloSchedule(loop, machine, g, sccs, generous);
+        EXPECT_LE(b.schedule.ii, a.schedule.ii) << loop.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetProperty, ::testing::Range(0, 4));
+
+} // namespace

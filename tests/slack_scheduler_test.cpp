@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.hpp"
+#include "graph/scc.hpp"
+#include "machine/cydra5.hpp"
+#include "machine/machines.hpp"
+#include "sched/slack_scheduler.hpp"
+#include "sched/verifier.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "sim/sequential_interpreter.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace {
+
+using namespace ims;
+
+TEST(SlackSchedulerTest, AllKernelsScheduleVerifyAndSimulate)
+{
+    const auto machine = machine::cydra5();
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 6.0;
+    for (const auto& w : workloads::kernelLibrary()) {
+        const auto g = graph::buildDepGraph(w.loop, machine);
+        const auto sccs = graph::findSccs(g);
+        const auto outcome = sched::slackModuloSchedule(w.loop, machine,
+                                                        g, sccs, options);
+        EXPECT_GE(outcome.schedule.ii, outcome.mii) << w.loop.name();
+        const auto violations = sched::verifySchedule(
+            w.loop, machine, g, outcome.schedule);
+        ASSERT_TRUE(violations.empty())
+            << w.loop.name() << ": " << violations.front();
+
+        const auto spec = workloads::makeSimSpec(w.loop, 25, 77);
+        const auto seq = sim::runSequential(w.loop, spec);
+        const auto pipe =
+            sim::runPipelined(w.loop, outcome.schedule, spec);
+        EXPECT_TRUE(sim::equivalent(seq, pipe.state)) << w.loop.name();
+    }
+}
+
+TEST(SlackSchedulerTest, ReachesMiiOnEasyKernels)
+{
+    const auto machine = machine::cydra5();
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 6.0;
+    for (const char* name :
+         {"daxpy", "vec_copy", "init_store", "dot_raw", "tridiag"}) {
+        const auto w = workloads::kernelByName(name);
+        const auto g = graph::buildDepGraph(w.loop, machine);
+        const auto sccs = graph::findSccs(g);
+        const auto outcome = sched::slackModuloSchedule(w.loop, machine,
+                                                        g, sccs, options);
+        EXPECT_EQ(outcome.schedule.ii, outcome.mii) << name;
+    }
+}
+
+TEST(SlackSchedulerTest, RandomLoopsProperty)
+{
+    const auto machine = machine::cydra5();
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 6.0;
+    support::Rng rng(424242);
+    for (int k = 0; k < 40; ++k) {
+        const auto loop =
+            workloads::generateLoop(rng, "slack_" + std::to_string(k));
+        const auto g = graph::buildDepGraph(loop, machine);
+        const auto sccs = graph::findSccs(g);
+        const auto outcome =
+            sched::slackModuloSchedule(loop, machine, g, sccs, options);
+        const auto violations =
+            sched::verifySchedule(loop, machine, g, outcome.schedule);
+        ASSERT_TRUE(violations.empty())
+            << loop.name() << ": " << violations.front();
+
+        const auto spec = workloads::makeSimSpec(loop, 15, 5);
+        const auto seq = sim::runSequential(loop, spec);
+        const auto pipe =
+            sim::runPipelined(loop, outcome.schedule, spec);
+        EXPECT_TRUE(sim::equivalent(seq, pipe.state)) << loop.name();
+    }
+}
+
+TEST(SlackSchedulerTest, WorksAcrossMachines)
+{
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 6.0;
+    for (const auto& machine :
+         {machine::clean64(), machine::wideVliw(), machine::scalarToy()}) {
+        const auto w = workloads::kernelByName("state_frag");
+        const auto g = graph::buildDepGraph(w.loop, machine);
+        const auto sccs = graph::findSccs(g);
+        const auto outcome = sched::slackModuloSchedule(w.loop, machine,
+                                                        g, sccs, options);
+        EXPECT_TRUE(sched::verifySchedule(w.loop, machine, g,
+                                          outcome.schedule)
+                        .empty())
+            << machine.name();
+    }
+}
+
+TEST(SlackSchedulerTest, InvalidBudgetRejected)
+{
+    const auto machine = machine::cydra5();
+    const auto w = workloads::kernelByName("daxpy");
+    const auto g = graph::buildDepGraph(w.loop, machine);
+    const auto sccs = graph::findSccs(g);
+    sched::ModuloScheduleOptions options;
+    options.budgetRatio = 0.0;
+    EXPECT_THROW(sched::slackModuloSchedule(w.loop, machine, g, sccs,
+                                            options),
+                 support::Error);
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * ims-schedule: command-line driver for the library. Reads loops in the
+ * textual mini-IR format and modulo-schedules them.
+ *
+ * Usage:
+ *   ims-schedule [options] <file.ir | ->...
+ *   ims-schedule [options] --kernel <name>...
+ *   ims-schedule --list-kernels
+ *
+ * Options:
+ *   --machine cydra5|clean64|wide-vliw|scalar-toy   (default cydra5)
+ *   --budget-ratio <r>       BudgetRatio (default 2.0; the paper's
+ *                            quality studies use 6)
+ *   --priority heightr|slack|source-order|random    (default heightr)
+ *   --listing                print the full prologue/kernel/epilogue
+ *   --kernel-only            print the [36] kernel-only schema instead
+ *   --trace                  print the per-step scheduling trace
+ *   --simulate <trip>        validate against the sequential semantics
+ *   --quiet                  one summary line per loop only
+ */
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/emit.hpp"
+#include "codegen/kernel_only.hpp"
+#include "core/pipeliner.hpp"
+#include "core/report.hpp"
+#include "ir/parser.hpp"
+#include "machine/cydra5.hpp"
+#include "machine/machines.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "sim/sequential_interpreter.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace ims;
+
+struct CliOptions
+{
+    std::string machine = "cydra5";
+    double budgetRatio = 2.0;
+    std::string priority = "heightr";
+    bool listing = false;
+    bool kernelOnly = false;
+    bool trace = false;
+    int simulateTrip = 0;
+    bool quiet = false;
+    bool listKernels = false;
+    std::vector<std::string> files;
+    std::vector<std::string> kernels;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cerr
+        << "usage: ims-schedule [options] <file.ir|->... | --kernel "
+           "<name>... | --list-kernels\n"
+           "  --machine cydra5|clean64|wide-vliw|scalar-toy\n"
+           "  --budget-ratio <r>   --priority "
+           "heightr|slack|source-order|random\n"
+           "  --listing  --kernel-only  --trace  --simulate <trip>  "
+           "--quiet\n";
+    std::exit(code);
+}
+
+machine::MachineModel
+machineByName(const std::string& name)
+{
+    if (name == "cydra5")
+        return machine::cydra5();
+    if (name == "clean64")
+        return machine::clean64();
+    if (name == "wide-vliw")
+        return machine::wideVliw();
+    if (name == "scalar-toy")
+        return machine::scalarToy();
+    std::cerr << "unknown machine '" << name << "'\n";
+    usage(2);
+}
+
+sched::PriorityScheme
+priorityByName(const std::string& name)
+{
+    if (name == "heightr")
+        return sched::PriorityScheme::kHeightR;
+    if (name == "slack")
+        return sched::PriorityScheme::kSlack;
+    if (name == "source-order")
+        return sched::PriorityScheme::kSourceOrder;
+    if (name == "random")
+        return sched::PriorityScheme::kRandom;
+    std::cerr << "unknown priority '" << name << "'\n";
+    usage(2);
+}
+
+CliOptions
+parseArgs(int argc, char** argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char* what) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " requires " << what << "\n";
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--machine")
+            options.machine = next("a machine name");
+        else if (arg == "--budget-ratio")
+            options.budgetRatio = std::stod(next("a ratio"));
+        else if (arg == "--priority")
+            options.priority = next("a scheme");
+        else if (arg == "--listing")
+            options.listing = true;
+        else if (arg == "--kernel-only")
+            options.kernelOnly = true;
+        else if (arg == "--trace")
+            options.trace = true;
+        else if (arg == "--simulate")
+            options.simulateTrip = std::stoi(next("a trip count"));
+        else if (arg == "--quiet")
+            options.quiet = true;
+        else if (arg == "--list-kernels")
+            options.listKernels = true;
+        else if (arg == "--kernel")
+            options.kernels.push_back(next("a kernel name"));
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(2);
+        } else
+            options.files.push_back(arg);
+    }
+    return options;
+}
+
+std::string
+readFile(const std::string& path)
+{
+    if (path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        return buffer.str();
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        std::exit(1);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int
+processLoop(const ir::Loop& loop, const CliOptions& options,
+            const machine::MachineModel& machine)
+{
+    core::PipelinerOptions pipeline_options;
+    pipeline_options.schedule.budgetRatio = options.budgetRatio;
+    pipeline_options.schedule.inner.priority =
+        priorityByName(options.priority);
+    std::vector<sched::TraceEvent> trace;
+    if (options.trace)
+        pipeline_options.schedule.inner.trace = &trace;
+
+    core::SoftwarePipeliner pipeliner(machine, pipeline_options);
+    const auto artifacts = pipeliner.pipeline(loop);
+
+    if (options.quiet) {
+        std::cout << core::summaryLine(loop, artifacts) << "\n";
+    } else {
+        std::cout << core::report(loop, machine, artifacts) << "\n";
+    }
+    if (options.trace) {
+        std::cout << "scheduling trace (" << trace.size() << " steps):\n";
+        for (const auto& e : trace) {
+            std::cout << "  step " << e.step << ": op " << e.op
+                      << " Estart=" << e.estart << " -> t=" << e.slot
+                      << (e.forced ? " (forced)" : "") << "\n";
+        }
+    }
+    if (options.listing) {
+        std::cout << codegen::emitListing(loop, artifacts.code,
+                                          artifacts.registers);
+    }
+    if (options.kernelOnly) {
+        const auto ko = codegen::generateKernelOnly(
+            loop, artifacts.outcome.schedule);
+        std::cout << codegen::emitKernelOnly(loop, ko);
+    }
+    if (options.simulateTrip > 0) {
+        const auto spec =
+            workloads::makeSimSpec(loop, options.simulateTrip, 1);
+        const auto seq = sim::runSequential(loop, spec);
+        const auto pipe =
+            sim::runPipelined(loop, artifacts.outcome.schedule, spec);
+        const bool ok = sim::equivalent(seq, pipe.state);
+        std::cout << "simulation over " << options.simulateTrip
+                  << " iterations: "
+                  << (ok ? "pipelined == sequential"
+                         : "MISMATCH (library bug)")
+                  << "\n";
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const CliOptions options = parseArgs(argc, argv);
+
+    if (options.listKernels) {
+        for (const auto& w : workloads::kernelLibrary()) {
+            std::cout << w.loop.name() << "  (" << w.loop.size()
+                      << " ops): " << w.description << "\n";
+        }
+        return 0;
+    }
+    if (options.files.empty() && options.kernels.empty())
+        usage(2);
+
+    const auto machine = machineByName(options.machine);
+    int status = 0;
+    try {
+        for (const auto& name : options.kernels) {
+            status |= processLoop(workloads::kernelByName(name).loop,
+                                  options, machine);
+        }
+        for (const auto& file : options.files) {
+            status |= processLoop(ir::parseLoop(readFile(file)), options,
+                                  machine);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return status;
+}
