@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_codegen_schemas.dir/bench_abl_codegen_schemas.cpp.o"
+  "CMakeFiles/bench_abl_codegen_schemas.dir/bench_abl_codegen_schemas.cpp.o.d"
+  "bench_abl_codegen_schemas"
+  "bench_abl_codegen_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_codegen_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_forward_progress.dir/bench_abl_forward_progress.cpp.o"
+  "CMakeFiles/bench_abl_forward_progress.dir/bench_abl_forward_progress.cpp.o.d"
+  "bench_abl_forward_progress"
+  "bench_abl_forward_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_forward_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

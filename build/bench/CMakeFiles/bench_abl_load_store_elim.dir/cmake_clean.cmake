@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_load_store_elim.dir/bench_abl_load_store_elim.cpp.o"
+  "CMakeFiles/bench_abl_load_store_elim.dir/bench_abl_load_store_elim.cpp.o.d"
+  "bench_abl_load_store_elim"
+  "bench_abl_load_store_elim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_load_store_elim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_load_store_elim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_machines.dir/bench_abl_machines.cpp.o"
+  "CMakeFiles/bench_abl_machines.dir/bench_abl_machines.cpp.o.d"
+  "bench_abl_machines"
+  "bench_abl_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

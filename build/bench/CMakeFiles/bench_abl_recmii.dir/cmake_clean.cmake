@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_recmii.dir/bench_abl_recmii.cpp.o"
+  "CMakeFiles/bench_abl_recmii.dir/bench_abl_recmii.cpp.o.d"
+  "bench_abl_recmii"
+  "bench_abl_recmii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_recmii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_unrolling.dir/bench_abl_unrolling.cpp.o"
+  "CMakeFiles/bench_abl_unrolling.dir/bench_abl_unrolling.cpp.o.d"
+  "bench_abl_unrolling"
+  "bench_abl_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

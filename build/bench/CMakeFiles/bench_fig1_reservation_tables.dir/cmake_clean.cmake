@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_reservation_tables.dir/bench_fig1_reservation_tables.cpp.o"
+  "CMakeFiles/bench_fig1_reservation_tables.dir/bench_fig1_reservation_tables.cpp.o.d"
+  "bench_fig1_reservation_tables"
+  "bench_fig1_reservation_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_reservation_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

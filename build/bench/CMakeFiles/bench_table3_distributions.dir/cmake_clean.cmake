@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_distributions.dir/bench_table3_distributions.cpp.o"
+  "CMakeFiles/bench_table3_distributions.dir/bench_table3_distributions.cpp.o.d"
+  "bench_table3_distributions"
+  "bench_table3_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livermore_kernels.dir/livermore_kernels.cpp.o"
+  "CMakeFiles/livermore_kernels.dir/livermore_kernels.cpp.o.d"
+  "livermore_kernels"
+  "livermore_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livermore_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

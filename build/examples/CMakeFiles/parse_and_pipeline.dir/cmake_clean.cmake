@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_and_pipeline.dir/parse_and_pipeline.cpp.o"
+  "CMakeFiles/parse_and_pipeline.dir/parse_and_pipeline.cpp.o.d"
+  "parse_and_pipeline"
+  "parse_and_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_and_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_simulation.dir/pipeline_simulation.cpp.o"
+  "CMakeFiles/pipeline_simulation.dir/pipeline_simulation.cpp.o.d"
+  "pipeline_simulation"
+  "pipeline_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

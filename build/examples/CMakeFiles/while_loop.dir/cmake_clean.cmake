@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/while_loop.dir/while_loop.cpp.o"
+  "CMakeFiles/while_loop.dir/while_loop.cpp.o.d"
+  "while_loop"
+  "while_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/while_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

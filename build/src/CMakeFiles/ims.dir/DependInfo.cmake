@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/code_generator.cpp" "src/CMakeFiles/ims.dir/codegen/code_generator.cpp.o" "gcc" "src/CMakeFiles/ims.dir/codegen/code_generator.cpp.o.d"
+  "/root/repo/src/codegen/emit.cpp" "src/CMakeFiles/ims.dir/codegen/emit.cpp.o" "gcc" "src/CMakeFiles/ims.dir/codegen/emit.cpp.o.d"
+  "/root/repo/src/codegen/kernel.cpp" "src/CMakeFiles/ims.dir/codegen/kernel.cpp.o" "gcc" "src/CMakeFiles/ims.dir/codegen/kernel.cpp.o.d"
+  "/root/repo/src/codegen/kernel_only.cpp" "src/CMakeFiles/ims.dir/codegen/kernel_only.cpp.o" "gcc" "src/CMakeFiles/ims.dir/codegen/kernel_only.cpp.o.d"
+  "/root/repo/src/codegen/lifetimes.cpp" "src/CMakeFiles/ims.dir/codegen/lifetimes.cpp.o" "gcc" "src/CMakeFiles/ims.dir/codegen/lifetimes.cpp.o.d"
+  "/root/repo/src/codegen/mve.cpp" "src/CMakeFiles/ims.dir/codegen/mve.cpp.o" "gcc" "src/CMakeFiles/ims.dir/codegen/mve.cpp.o.d"
+  "/root/repo/src/codegen/register_allocator.cpp" "src/CMakeFiles/ims.dir/codegen/register_allocator.cpp.o" "gcc" "src/CMakeFiles/ims.dir/codegen/register_allocator.cpp.o.d"
+  "/root/repo/src/core/pipeliner.cpp" "src/CMakeFiles/ims.dir/core/pipeliner.cpp.o" "gcc" "src/CMakeFiles/ims.dir/core/pipeliner.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/ims.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/ims.dir/core/report.cpp.o.d"
+  "/root/repo/src/frontend/region_builder.cpp" "src/CMakeFiles/ims.dir/frontend/region_builder.cpp.o" "gcc" "src/CMakeFiles/ims.dir/frontend/region_builder.cpp.o.d"
+  "/root/repo/src/graph/circuits.cpp" "src/CMakeFiles/ims.dir/graph/circuits.cpp.o" "gcc" "src/CMakeFiles/ims.dir/graph/circuits.cpp.o.d"
+  "/root/repo/src/graph/delay_model.cpp" "src/CMakeFiles/ims.dir/graph/delay_model.cpp.o" "gcc" "src/CMakeFiles/ims.dir/graph/delay_model.cpp.o.d"
+  "/root/repo/src/graph/dep_graph.cpp" "src/CMakeFiles/ims.dir/graph/dep_graph.cpp.o" "gcc" "src/CMakeFiles/ims.dir/graph/dep_graph.cpp.o.d"
+  "/root/repo/src/graph/graph_builder.cpp" "src/CMakeFiles/ims.dir/graph/graph_builder.cpp.o" "gcc" "src/CMakeFiles/ims.dir/graph/graph_builder.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/CMakeFiles/ims.dir/graph/scc.cpp.o" "gcc" "src/CMakeFiles/ims.dir/graph/scc.cpp.o.d"
+  "/root/repo/src/ir/loop.cpp" "src/CMakeFiles/ims.dir/ir/loop.cpp.o" "gcc" "src/CMakeFiles/ims.dir/ir/loop.cpp.o.d"
+  "/root/repo/src/ir/loop_builder.cpp" "src/CMakeFiles/ims.dir/ir/loop_builder.cpp.o" "gcc" "src/CMakeFiles/ims.dir/ir/loop_builder.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/CMakeFiles/ims.dir/ir/opcode.cpp.o" "gcc" "src/CMakeFiles/ims.dir/ir/opcode.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/ims.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/ims.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/machine/cydra5.cpp" "src/CMakeFiles/ims.dir/machine/cydra5.cpp.o" "gcc" "src/CMakeFiles/ims.dir/machine/cydra5.cpp.o.d"
+  "/root/repo/src/machine/machine_builder.cpp" "src/CMakeFiles/ims.dir/machine/machine_builder.cpp.o" "gcc" "src/CMakeFiles/ims.dir/machine/machine_builder.cpp.o.d"
+  "/root/repo/src/machine/machine_model.cpp" "src/CMakeFiles/ims.dir/machine/machine_model.cpp.o" "gcc" "src/CMakeFiles/ims.dir/machine/machine_model.cpp.o.d"
+  "/root/repo/src/machine/machines.cpp" "src/CMakeFiles/ims.dir/machine/machines.cpp.o" "gcc" "src/CMakeFiles/ims.dir/machine/machines.cpp.o.d"
+  "/root/repo/src/machine/reservation_table.cpp" "src/CMakeFiles/ims.dir/machine/reservation_table.cpp.o" "gcc" "src/CMakeFiles/ims.dir/machine/reservation_table.cpp.o.d"
+  "/root/repo/src/mii/mii.cpp" "src/CMakeFiles/ims.dir/mii/mii.cpp.o" "gcc" "src/CMakeFiles/ims.dir/mii/mii.cpp.o.d"
+  "/root/repo/src/mii/min_dist.cpp" "src/CMakeFiles/ims.dir/mii/min_dist.cpp.o" "gcc" "src/CMakeFiles/ims.dir/mii/min_dist.cpp.o.d"
+  "/root/repo/src/mii/rec_mii.cpp" "src/CMakeFiles/ims.dir/mii/rec_mii.cpp.o" "gcc" "src/CMakeFiles/ims.dir/mii/rec_mii.cpp.o.d"
+  "/root/repo/src/mii/res_mii.cpp" "src/CMakeFiles/ims.dir/mii/res_mii.cpp.o" "gcc" "src/CMakeFiles/ims.dir/mii/res_mii.cpp.o.d"
+  "/root/repo/src/sched/height_r.cpp" "src/CMakeFiles/ims.dir/sched/height_r.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/height_r.cpp.o.d"
+  "/root/repo/src/sched/iterative_scheduler.cpp" "src/CMakeFiles/ims.dir/sched/iterative_scheduler.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/iterative_scheduler.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/CMakeFiles/ims.dir/sched/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/modulo_scheduler.cpp" "src/CMakeFiles/ims.dir/sched/modulo_scheduler.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/modulo_scheduler.cpp.o.d"
+  "/root/repo/src/sched/mrt.cpp" "src/CMakeFiles/ims.dir/sched/mrt.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/mrt.cpp.o.d"
+  "/root/repo/src/sched/partial_schedule.cpp" "src/CMakeFiles/ims.dir/sched/partial_schedule.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/partial_schedule.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/CMakeFiles/ims.dir/sched/priority.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/priority.cpp.o.d"
+  "/root/repo/src/sched/slack_scheduler.cpp" "src/CMakeFiles/ims.dir/sched/slack_scheduler.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/slack_scheduler.cpp.o.d"
+  "/root/repo/src/sched/verifier.cpp" "src/CMakeFiles/ims.dir/sched/verifier.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sched/verifier.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/ims.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/pipeline_simulator.cpp" "src/CMakeFiles/ims.dir/sim/pipeline_simulator.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sim/pipeline_simulator.cpp.o.d"
+  "/root/repo/src/sim/section_executor.cpp" "src/CMakeFiles/ims.dir/sim/section_executor.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sim/section_executor.cpp.o.d"
+  "/root/repo/src/sim/sequential_interpreter.cpp" "src/CMakeFiles/ims.dir/sim/sequential_interpreter.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sim/sequential_interpreter.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/CMakeFiles/ims.dir/sim/value.cpp.o" "gcc" "src/CMakeFiles/ims.dir/sim/value.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/ims.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/ims.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/regression.cpp" "src/CMakeFiles/ims.dir/support/regression.cpp.o" "gcc" "src/CMakeFiles/ims.dir/support/regression.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/ims.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/ims.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/ims.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/ims.dir/support/table.cpp.o.d"
+  "/root/repo/src/transform/load_store_elim.cpp" "src/CMakeFiles/ims.dir/transform/load_store_elim.cpp.o" "gcc" "src/CMakeFiles/ims.dir/transform/load_store_elim.cpp.o.d"
+  "/root/repo/src/transform/unroll.cpp" "src/CMakeFiles/ims.dir/transform/unroll.cpp.o" "gcc" "src/CMakeFiles/ims.dir/transform/unroll.cpp.o.d"
+  "/root/repo/src/workloads/corpus.cpp" "src/CMakeFiles/ims.dir/workloads/corpus.cpp.o" "gcc" "src/CMakeFiles/ims.dir/workloads/corpus.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/CMakeFiles/ims.dir/workloads/kernels.cpp.o" "gcc" "src/CMakeFiles/ims.dir/workloads/kernels.cpp.o.d"
+  "/root/repo/src/workloads/profile_model.cpp" "src/CMakeFiles/ims.dir/workloads/profile_model.cpp.o" "gcc" "src/CMakeFiles/ims.dir/workloads/profile_model.cpp.o.d"
+  "/root/repo/src/workloads/random_loops.cpp" "src/CMakeFiles/ims.dir/workloads/random_loops.cpp.o" "gcc" "src/CMakeFiles/ims.dir/workloads/random_loops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_exit_test.dir/early_exit_test.cpp.o"
+  "CMakeFiles/early_exit_test.dir/early_exit_test.cpp.o.d"
+  "early_exit_test"
+  "early_exit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_exit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

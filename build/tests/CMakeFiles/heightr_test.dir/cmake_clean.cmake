@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heightr_test.dir/heightr_test.cpp.o"
+  "CMakeFiles/heightr_test.dir/heightr_test.cpp.o.d"
+  "heightr_test"
+  "heightr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heightr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

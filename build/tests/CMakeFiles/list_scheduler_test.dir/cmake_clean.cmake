@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_scheduler_test.dir/list_scheduler_test.cpp.o"
+  "CMakeFiles/list_scheduler_test.dir/list_scheduler_test.cpp.o.d"
+  "list_scheduler_test"
+  "list_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_store_elim_test.dir/load_store_elim_test.cpp.o"
+  "CMakeFiles/load_store_elim_test.dir/load_store_elim_test.cpp.o.d"
+  "load_store_elim_test"
+  "load_store_elim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_store_elim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

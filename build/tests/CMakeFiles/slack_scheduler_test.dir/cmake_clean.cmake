@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slack_scheduler_test.dir/slack_scheduler_test.cpp.o"
+  "CMakeFiles/slack_scheduler_test.dir/slack_scheduler_test.cpp.o.d"
+  "slack_scheduler_test"
+  "slack_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slack_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

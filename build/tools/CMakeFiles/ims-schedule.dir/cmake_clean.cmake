@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ims-schedule.dir/ims_schedule.cpp.o"
+  "CMakeFiles/ims-schedule.dir/ims_schedule.cpp.o.d"
+  "ims-schedule"
+  "ims-schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ims-schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
