@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Batch-pipelining throughput: drive the BatchPipeliner over the workload
+ * corpus at increasing thread counts and report wall time, loops/s and
+ * speedup over the sequential run. Loops are independent, so the batch is
+ * embarrassingly parallel; on an N-core machine the speedup should be
+ * near-linear until the pool saturates the cores. The harness also
+ * asserts that every thread count produces bitwise-identical schedules
+ * (the determinism contract the tests enforce too) and prints the
+ * aggregate distribution report of the sequential run.
+ *
+ * Usage: bench_batch_throughput [--loops N] [--threads a,b,c,...]
+ *        (defaults: 240 corpus loops; 1,2,4,8 threads)
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_pipeliner.hpp"
+#include "machine/cydra5.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "workloads/corpus.hpp"
+
+namespace {
+
+using namespace ims;
+
+/** "1,2,4" -> {1,2,4}; empty on any non-positive or non-numeric entry. */
+std::vector<int>
+parseThreadList(const std::string& text)
+{
+    std::vector<int> threads;
+    std::stringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        try {
+            std::size_t used = 0;
+            const int value = std::stoi(item, &used);
+            if (used != item.size() || value <= 0)
+                return {};
+            threads.push_back(value);
+        } catch (const std::exception&) {
+            return {};
+        }
+    }
+    return threads;
+}
+
+bool
+identicalSchedules(const core::BatchResult& a, const core::BatchResult& b)
+{
+    if (a.items.size() != b.items.size())
+        return false;
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+        if (a.items[i].result.ok() != b.items[i].result.ok())
+            return false;
+        if (!a.items[i].result.ok())
+            continue;
+        const auto& sa = a.items[i].result.artifacts->outcome.schedule;
+        const auto& sb = b.items[i].result.artifacts->outcome.schedule;
+        if (sa.ii != sb.ii || sa.times != sb.times ||
+            sa.alternatives != sb.alternatives)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int num_loops = 240;
+    std::vector<int> thread_counts = {1, 2, 4, 8};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--loops") == 0 && i + 1 < argc)
+            num_loops = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            thread_counts = parseThreadList(argv[++i]);
+        else {
+            std::cerr << "usage: bench_batch_throughput [--loops N] "
+                         "[--threads a,b,c,...]\n";
+            return 2;
+        }
+    }
+    if (num_loops <= 0 || thread_counts.empty()) {
+        std::cerr << "bench_batch_throughput: --loops needs a positive "
+                     "count and --threads a comma-separated list of "
+                     "positive integers\n";
+        return 2;
+    }
+
+    // A corpus slice with the §4.1 suite mix (~3.8:1.1:1 per 240 loops).
+    workloads::CorpusSpec spec;
+    spec.lfkLoops = std::min(27, num_loops);
+    spec.specLoops = std::max(0, std::min(num_loops / 5,
+                                          num_loops - spec.lfkLoops));
+    spec.perfectLoops =
+        std::max(0, num_loops - spec.lfkLoops - spec.specLoops);
+    std::vector<ir::Loop> loops;
+    for (const auto& workload : workloads::buildCorpus(spec))
+        loops.push_back(workload.loop);
+
+    const auto machine = machine::cydra5();
+    std::cout << "batch throughput on " << machine.name() << ": "
+              << loops.size() << " corpus loops, hardware concurrency "
+              << std::thread::hardware_concurrency() << "\n\n";
+
+    support::TextTable table("batch pipelining throughput");
+    table.addHeader({"threads", "wall s", "loops/s", "speedup",
+                     "identical schedules"});
+
+    core::BatchResult baseline;
+    double baseline_seconds = 0.0;
+    for (const int threads : thread_counts) {
+        core::BatchPipeliner batch(
+            machine, core::BatchOptions{}.withThreads(threads));
+        const auto result = batch.run(loops);
+
+        if (result.failures() != 0) {
+            std::cerr << "unexpected failures: " << result.failures()
+                      << "\n";
+            return 1;
+        }
+
+        bool identical = true;
+        if (threads == thread_counts.front()) {
+            baseline = result;
+            baseline_seconds = result.wallSeconds;
+        } else {
+            identical = identicalSchedules(baseline, result);
+        }
+
+        table.addRow(
+            {std::to_string(result.threadsUsed),
+             support::formatDouble(result.wallSeconds, 3),
+             support::formatDouble(
+                 static_cast<double>(loops.size()) /
+                     std::max(result.wallSeconds, 1e-12),
+                 1),
+             support::formatDouble(
+                 baseline_seconds /
+                     std::max(result.wallSeconds, 1e-12),
+                 2),
+             identical ? "yes" : "NO (BUG)"});
+        if (!identical) {
+            table.print(std::cout);
+            std::cerr << "\nschedules diverged at " << threads
+                      << " threads — determinism bug\n";
+            return 1;
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n" << baseline.summaryTable();
+    return 0;
+}

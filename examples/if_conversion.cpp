@@ -63,7 +63,7 @@ main()
 
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(loop)).artifactsOrThrow();
     std::cout << core::report(loop, machine, artifacts) << "\n";
 
     // Validate end to end on a concrete input.

@@ -25,14 +25,14 @@ main(int argc, char** argv)
 
     if (argc > 1) {
         const auto w = workloads::kernelByName(argv[1]);
-        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         std::cout << core::report(w.loop, machine, artifacts);
         return 0;
     }
 
     std::cout << "Kernel library on " << machine.name() << ":\n\n";
     for (const auto& w : workloads::kernelLibrary()) {
-        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         std::cout << core::summaryLine(w.loop, artifacts) << "  ; "
                   << w.description << "\n";
     }
@@ -42,14 +42,14 @@ main(int argc, char** argv)
     {
         const auto w = workloads::kernelByName("tridiag");
         std::cout << core::report(w.loop, machine,
-                                  pipeliner.pipeline(w.loop));
+                                  pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow());
     }
     std::cout << "\n=== deep dive: resource-bound (div_kernel, blocked "
                  "multiplier) ===\n\n";
     {
         const auto w = workloads::kernelByName("div_kernel");
         std::cout << core::report(w.loop, machine,
-                                  pipeliner.pipeline(w.loop));
+                                  pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow());
     }
     std::cout << "\n(run with a kernel name for its full report, e.g. "
                  "./livermore_kernels daxpy)\n";

@@ -38,7 +38,7 @@ main(int argc, char** argv)
          {machine::cydra5(), machine::clean64(), machine::wideVliw(),
           machine::scalarToy()}) {
         core::SoftwarePipeliner pipeliner(machine);
-        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         const auto& schedule = artifacts.outcome.schedule;
         table.addRow({machine.name(),
                       std::to_string(artifacts.outcome.resMii),

@@ -65,7 +65,7 @@ main(int argc, char** argv)
         const ir::Loop loop = ir::parseLoop(text);
         const auto machine = machine::cydra5();
         core::SoftwarePipeliner pipeliner(machine);
-        const auto artifacts = pipeliner.pipeline(loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(loop)).artifactsOrThrow();
         std::cout << core::report(loop, machine, artifacts);
         return 0;
     } catch (const std::exception& e) {

@@ -30,7 +30,7 @@ main(int argc, char** argv)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName(kernel);
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const auto& schedule = artifacts.outcome.schedule;
 
     std::cout << w.loop.toString() << "\n";

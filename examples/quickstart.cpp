@@ -14,6 +14,8 @@
 #include "core/report.hpp"
 #include "ir/loop_builder.hpp"
 #include "machine/cydra5.hpp"
+#include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 int
 main()
@@ -37,13 +39,26 @@ main()
     b.closeLoopBackSubstituted();
     const ir::Loop loop = b.build();
 
-    // Pipeline it.
+    // Pipeline it through the request/result API.
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(loop);
+    const auto result = pipeliner.pipeline(core::PipelineRequest(loop));
+    if (!result.ok()) {
+        std::cerr << "error: " << result.firstError() << "\n";
+        return 1;
+    }
+    const auto& artifacts = *result.artifacts;
 
     std::cout << core::report(loop, machine, artifacts) << "\n";
     std::cout << codegen::emitListing(loop, artifacts.code,
                                       artifacts.registers);
+
+    // Every run carries structured telemetry: per-phase wall times, the
+    // achieved II against its MII lower bound, budget consumption and the
+    // unified instrumentation counters — as a table or as JSON.
+    std::cout << "\n";
+    support::telemetryTable({result.telemetry}).print(std::cout);
+    std::cout << "\ntelemetry JSON:\n"
+              << result.telemetry.toJson() << "\n";
     return 0;
 }

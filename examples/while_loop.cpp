@@ -35,7 +35,7 @@ main(int argc, char** argv)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName("search_sum");
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
 
     std::cout << w.loop.toString() << "\n";
     std::cout << core::summaryLine(w.loop, artifacts) << "\n\n";

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the batch-pipelining targets under ThreadSanitizer and run the
+# concurrency-sensitive tests plus a small multi-threaded bench sweep.
+# Any data race in the shared-MachineModel batch driver fails the script.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DIMS_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" -j \
+    --target batch_pipeliner_test telemetry_test pipeliner_test \
+             bench_batch_throughput
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+echo "== batch_pipeliner_test (tsan) =="
+"$BUILD_DIR/tests/batch_pipeliner_test"
+echo "== telemetry_test (tsan) =="
+"$BUILD_DIR/tests/telemetry_test"
+echo "== pipeliner_test (tsan) =="
+"$BUILD_DIR/tests/pipeliner_test"
+echo "== bench_batch_throughput (tsan, small sweep) =="
+"$BUILD_DIR/bench/bench_batch_throughput" --loops 40 --threads 1,4,8
+
+echo "tsan: all checks passed"

@@ -29,8 +29,10 @@ GeneratedCode::totalInstances(int trip_count) const
 
 GeneratedCode
 generateCode(const ir::Loop& loop, const machine::MachineModel& machine,
-             const sched::ScheduleResult& schedule)
+             const sched::ScheduleResult& schedule,
+             support::TelemetrySink* sink)
 {
+    support::PhaseTimer timer(sink, support::Phase::kCodegen);
     GeneratedCode code;
     code.kernel = buildKernel(loop, schedule);
     const LifetimeAnalysis lifetimes =

@@ -79,10 +79,14 @@ struct GeneratedCode
     long long totalInstances(int trip_count) const;
 };
 
-/** Build the prologue/kernel/epilogue structure for a schedule. */
+/**
+ * Build the prologue/kernel/epilogue structure for a schedule. When `sink`
+ * is non-null the construction is reported as one Phase::kCodegen sample.
+ */
 GeneratedCode generateCode(const ir::Loop& loop,
                            const machine::MachineModel& machine,
-                           const sched::ScheduleResult& schedule);
+                           const sched::ScheduleResult& schedule,
+                           support::TelemetrySink* sink = nullptr);
 
 } // namespace ims::codegen
 

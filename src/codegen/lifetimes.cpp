@@ -6,8 +6,10 @@ namespace ims::codegen {
 
 LifetimeAnalysis
 analyzeLifetimes(const ir::Loop& loop, const machine::MachineModel& machine,
-                 const sched::ScheduleResult& schedule)
+                 const sched::ScheduleResult& schedule,
+                 support::TelemetrySink* sink)
 {
+    support::PhaseTimer timer(sink, support::Phase::kLifetimes);
     LifetimeAnalysis analysis;
     const int ii = schedule.ii;
 

@@ -53,7 +53,8 @@ struct LifetimeAnalysis
  */
 LifetimeAnalysis analyzeLifetimes(const ir::Loop& loop,
                                   const machine::MachineModel& machine,
-                                  const sched::ScheduleResult& schedule);
+                                  const sched::ScheduleResult& schedule,
+                                  support::TelemetrySink* sink = nullptr);
 
 } // namespace ims::codegen
 

@@ -28,8 +28,9 @@ RegisterAllocation::physicalName(ir::RegId reg, int iterations_back) const
 
 RegisterAllocation
 allocateRegisters(const ir::Loop& loop, const LifetimeAnalysis& lifetimes,
-                  const MvePlan& mve)
+                  const MvePlan& mve, support::TelemetrySink* sink)
 {
+    support::PhaseTimer timer(sink, support::Phase::kRegAlloc);
     RegisterAllocation allocation;
     int next_rotating = 0;
     int next_static = 0;

@@ -7,6 +7,7 @@
 #include "codegen/lifetimes.hpp"
 #include "codegen/mve.hpp"
 #include "ir/loop.hpp"
+#include "support/telemetry.hpp"
 
 namespace ims::codegen {
 
@@ -58,7 +59,8 @@ struct RegisterAllocation
  */
 RegisterAllocation allocateRegisters(const ir::Loop& loop,
                                      const LifetimeAnalysis& lifetimes,
-                                     const MvePlan& mve);
+                                     const MvePlan& mve,
+                                     support::TelemetrySink* sink = nullptr);
 
 } // namespace ims::codegen
 

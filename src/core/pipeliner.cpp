@@ -1,6 +1,8 @@
 #include "core/pipeliner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "graph/scc.hpp"
 #include "mii/min_dist.hpp"
@@ -9,60 +11,160 @@
 
 namespace ims::core {
 
+std::string
+PipelineResult::firstError() const
+{
+    for (const auto& diagnostic : diagnostics) {
+        if (diagnostic.severity == Diagnostic::Severity::kError)
+            return diagnostic.message;
+    }
+    return "";
+}
+
+const PipelineArtifacts&
+PipelineResult::artifactsOrThrow() const&
+{
+    if (!artifacts.has_value()) {
+        const std::string message = firstError();
+        throw support::Error(message.empty() ? "pipelining failed"
+                                             : message);
+    }
+    return *artifacts;
+}
+
+PipelineArtifacts
+PipelineResult::artifactsOrThrow() &&
+{
+    artifactsOrThrow(); // throw on failure
+    return std::move(*artifacts);
+}
+
 SoftwarePipeliner::SoftwarePipeliner(machine::MachineModel machine,
                                      PipelinerOptions options)
     : machine_(std::move(machine)), options_(std::move(options))
 {
 }
 
+PipelineResult
+SoftwarePipeliner::pipeline(const PipelineRequest& request) const
+{
+    const ir::Loop& loop = *request.loop;
+    // Per-call overrides: the request's options (when set) replace the
+    // pipeliner-level ones wholesale; its sink wins over the options'.
+    PipelinerOptions options =
+        request.options.has_value() ? *request.options : options_;
+    support::TelemetrySink* external = request.telemetry != nullptr
+                                           ? request.telemetry
+                                           : options.telemetry;
+
+    PipelineResult result;
+    support::TelemetryRecorder recorder;
+    support::TeeSink sink(&recorder, external);
+    support::Counters counters;
+    options.schedule.inner.telemetry = &sink;
+
+    result.telemetry.loop = loop.name();
+    result.telemetry.ops = loop.size();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::string phase = support::phaseName(support::Phase::kGraphBuild);
+    try {
+        graph::DepGraph dep_graph =
+            graph::buildDepGraph(loop, machine_, options.graph, &sink);
+        const graph::SccResult sccs = graph::findSccs(dep_graph, &counters);
+
+        phase = support::phaseName(support::Phase::kMiiBounds);
+        sched::ModuloScheduleOutcome outcome =
+            sched::moduloSchedule(loop, machine_, dep_graph, sccs,
+                                  options.schedule, &counters);
+
+        result.telemetry.resMii = outcome.resMii;
+        result.telemetry.mii = outcome.mii;
+        result.telemetry.ii = outcome.schedule.ii;
+        result.telemetry.attempts = outcome.attempts;
+        result.telemetry.scheduleLength = outcome.schedule.scheduleLength;
+        result.telemetry.budget = outcome.budget;
+        result.telemetry.stepsTotal = outcome.totalSteps;
+        result.telemetry.backtracks = outcome.totalUnschedules;
+
+        phase = support::phaseName(support::Phase::kVerify);
+        if (options.verify) {
+            support::PhaseTimer timer(&sink, support::Phase::kVerify);
+            const auto violations =
+                sched::verifySchedule(loop, machine_, dep_graph,
+                                      outcome.schedule);
+            if (!violations.empty()) {
+                throw support::Error(
+                    "schedule verification failed for '" + loop.name() +
+                    "': " + violations.front());
+            }
+        }
+
+        phase = support::phaseName(support::Phase::kListSchedule);
+        sched::ListScheduleResult list_schedule =
+            sched::listSchedule(loop, machine_, dep_graph, &counters,
+                                &sink);
+
+        const mii::MinDistMatrix dist(dep_graph, outcome.schedule.ii,
+                                      &counters);
+        const int critical_path = static_cast<int>(
+            dist.atVertex(dep_graph.start(), dep_graph.stop()));
+
+        PipelineArtifacts artifacts{
+            std::move(dep_graph),
+            std::move(outcome),
+            std::move(list_schedule),
+            0,
+            {},
+            {},
+            {},
+        };
+        artifacts.minScheduleLength =
+            std::max(critical_path, artifacts.listSchedule.scheduleLength);
+
+        phase = support::phaseName(support::Phase::kCodegen);
+        artifacts.code = codegen::generateCode(
+            loop, machine_, artifacts.outcome.schedule, &sink);
+        artifacts.lifetimes = codegen::analyzeLifetimes(
+            loop, machine_, artifacts.outcome.schedule, &sink);
+        artifacts.registers = codegen::allocateRegisters(
+            loop, artifacts.lifetimes, artifacts.code.mve, &sink);
+
+        result.artifacts = std::move(artifacts);
+        result.telemetry.succeeded = true;
+    } catch (const std::exception& error) {
+        // The RAII phase timers record their samples during unwinding, so
+        // the last sample the recorder saw pinpoints the failing phase
+        // more precisely than the coarse stage label (e.g. a budget
+        // exhaustion inside moduloSchedule is an ii_attempt, not
+        // mii_bounds).
+        if (!recorder.record().phases.empty())
+            phase = support::phaseName(recorder.record().phases.back().phase);
+        result.diagnostics.push_back(
+            {Diagnostic::Severity::kError, phase, error.what()});
+    }
+
+    sink.onCounters(counters);
+    result.telemetry.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // The recorder has seen every phase sample and the counters; fold its
+    // accumulation into the summary record.
+    result.telemetry.phases = std::move(recorder.record().phases);
+    result.telemetry.counters = recorder.record().counters;
+    return result;
+}
+
 PipelineArtifacts
 SoftwarePipeliner::pipeline(const ir::Loop& loop,
                             support::Counters* counters) const
 {
-    graph::DepGraph dep_graph =
-        graph::buildDepGraph(loop, machine_, options_.graph);
-    const graph::SccResult sccs = graph::findSccs(dep_graph);
-
-    sched::ModuloScheduleOutcome outcome =
-        sched::moduloSchedule(loop, machine_, dep_graph, sccs,
-                              options_.schedule, counters);
-
-    if (options_.verify) {
-        const auto violations =
-            sched::verifySchedule(loop, machine_, dep_graph,
-                                  outcome.schedule);
-        if (!violations.empty()) {
-            throw support::Error("schedule verification failed for '" +
-                                 loop.name() + "': " + violations.front());
-        }
-    }
-
-    sched::ListScheduleResult list_schedule =
-        sched::listSchedule(loop, machine_, dep_graph, counters);
-
-    const mii::MinDistMatrix dist(dep_graph, outcome.schedule.ii, counters);
-    const int critical_path = static_cast<int>(
-        dist.atVertex(dep_graph.start(), dep_graph.stop()));
-
-    PipelineArtifacts artifacts{
-        std::move(dep_graph),
-        std::move(outcome),
-        std::move(list_schedule),
-        0,
-        {},
-        {},
-        {},
-    };
-    artifacts.minScheduleLength =
-        std::max(critical_path, artifacts.listSchedule.scheduleLength);
-    artifacts.code =
-        codegen::generateCode(loop, machine_, artifacts.outcome.schedule);
-    artifacts.lifetimes =
-        codegen::analyzeLifetimes(loop, machine_,
-                                  artifacts.outcome.schedule);
-    artifacts.registers = codegen::allocateRegisters(
-        loop, artifacts.lifetimes, artifacts.code.mve);
-    return artifacts;
+    PipelineResult result = pipeline(PipelineRequest(loop));
+    if (counters != nullptr)
+        *counters += result.telemetry.counters;
+    result.artifactsOrThrow();
+    return std::move(*result.artifacts);
 }
 
 } // namespace ims::core

@@ -1,8 +1,9 @@
 #ifndef IMS_CORE_PIPELINER_HPP
 #define IMS_CORE_PIPELINER_HPP
 
-#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "codegen/code_generator.hpp"
 #include "codegen/register_allocator.hpp"
@@ -12,16 +13,104 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/modulo_scheduler.hpp"
 #include "support/counters.hpp"
+#include "support/telemetry.hpp"
 
 namespace ims::core {
 
-/** Options for the end-to-end pipeline. */
+/**
+ * Options for the end-to-end pipeline.
+ *
+ * Defaults (the single source of truth; see docs/api.md):
+ *  - delay model: exact (Table 1), DSA/EVR form assumed;
+ *  - priority: HeightR, forward-progress rule on;
+ *  - BudgetRatio 2.0 (the paper's recommendation), maxIiIncrease 4096;
+ *  - independent schedule verification on;
+ *  - no telemetry sink.
+ *
+ * The `with*` setters mutate-and-return so batch and single-loop callers
+ * configure identically:
+ * @code
+ *   auto options = core::PipelinerOptions{}
+ *                      .withBudgetRatio(6.0)
+ *                      .withVerification(false)
+ *                      .withTelemetry(&my_sink);
+ * @endcode
+ */
 struct PipelinerOptions
 {
     graph::GraphOptions graph;
     sched::ModuloScheduleOptions schedule;
     /** Verify every schedule with the independent checker (cheap). */
     bool verify = true;
+    /**
+     * Default sink observing every run made with these options (a
+     * per-request sink, when set, takes precedence). Must outlive the
+     * pipeliner; must be thread-safe if the options are shared by a batch.
+     */
+    support::TelemetrySink* telemetry = nullptr;
+
+    PipelinerOptions&
+    withBudgetRatio(double ratio)
+    {
+        schedule.budgetRatio = ratio;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withMaxIiIncrease(int increase)
+    {
+        schedule.maxIiIncrease = increase;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withPriority(sched::PriorityScheme priority)
+    {
+        schedule.inner.priority = priority;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withRandomSeed(std::uint64_t seed)
+    {
+        schedule.inner.randomSeed = seed;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withForwardProgressRule(bool enabled)
+    {
+        schedule.inner.forwardProgressRule = enabled;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withDelayMode(graph::DelayMode mode)
+    {
+        graph.delayMode = mode;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withDsaForm(bool enabled)
+    {
+        graph.dsaForm = enabled;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withVerification(bool enabled)
+    {
+        verify = enabled;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withTelemetry(support::TelemetrySink* sink)
+    {
+        telemetry = sink;
+        return *this;
+    }
 };
 
 /** Everything produced by pipelining one loop. */
@@ -45,16 +134,100 @@ struct PipelineArtifacts
 };
 
 /**
+ * One pipelining request: the loop plus per-call overrides. The loop (and
+ * any referenced sink/options) must outlive the call.
+ */
+struct PipelineRequest
+{
+    explicit PipelineRequest(const ir::Loop& l) : loop(&l) {}
+
+    /** The loop to pipeline (non-owning; never null). */
+    const ir::Loop* loop;
+    /** When set, replaces the pipeliner-level options for this call. */
+    std::optional<PipelinerOptions> options;
+    /**
+     * Per-request sink; takes precedence over the effective options'
+     * `telemetry`. The result's own PipelineTelemetry record is always
+     * produced regardless.
+     */
+    support::TelemetrySink* telemetry = nullptr;
+
+    PipelineRequest&
+    withOptions(PipelinerOptions o)
+    {
+        options = std::move(o);
+        return *this;
+    }
+
+    PipelineRequest&
+    withTelemetry(support::TelemetrySink* sink)
+    {
+        telemetry = sink;
+        return *this;
+    }
+};
+
+/** One structured problem report from a pipelining run. */
+struct Diagnostic
+{
+    enum class Severity
+    {
+        kWarning,
+        kError,
+    };
+
+    Severity severity = Severity::kError;
+    /** Phase the diagnostic arose in ("graph_build", "verify", ...). */
+    std::string phase;
+    std::string message;
+};
+
+/**
+ * Result of one pipelining run. Input problems surface as kError
+ * diagnostics (with `artifacts` empty), not as exceptions — a malformed
+ * loop in a batch yields a diagnosed entry, never a crashed batch.
+ */
+struct PipelineResult
+{
+    /** Present iff the run succeeded. */
+    std::optional<PipelineArtifacts> artifacts;
+    /** Per-phase timings, achieved II vs MII, budget, counters. */
+    support::PipelineTelemetry telemetry;
+    std::vector<Diagnostic> diagnostics;
+
+    bool ok() const { return artifacts.has_value(); }
+
+    /** First kError message, or "" when the run succeeded. */
+    std::string firstError() const;
+
+    /**
+     * The artifacts; @throws support::Error carrying `firstError()` when
+     * the run failed. Convenience for callers that want the old throwing
+     * behaviour. The rvalue overload moves the artifacts out, so
+     * `pipeliner.pipeline(request).artifactsOrThrow()` never dangles.
+     */
+    const PipelineArtifacts& artifactsOrThrow() const&;
+    PipelineArtifacts artifactsOrThrow() &&;
+};
+
+/**
  * One-call public API: modulo-schedule a loop for a machine and derive all
  * downstream artifacts (kernel structure, MVE, register allocation,
- * baseline comparison). This is the facade the examples and benches use.
+ * baseline comparison). This is the facade the examples, tools and benches
+ * use; BatchPipeliner drives it concurrently over many loops.
  *
  * @code
  *   auto machine = ims::machine::cydra5();
  *   ims::core::SoftwarePipeliner pipeliner(machine);
- *   auto artifacts = pipeliner.pipeline(loop);
- *   std::cout << ims::core::report(loop, machine, artifacts);
+ *   auto result = pipeliner.pipeline(ims::core::PipelineRequest(loop));
+ *   if (result.ok())
+ *       std::cout << ims::core::report(loop, machine, *result.artifacts);
+ *   std::cout << result.telemetry.toJson() << "\n";
  * @endcode
+ *
+ * Pipelining is const and touches no shared mutable state, so one
+ * SoftwarePipeliner may serve concurrent pipeline() calls (the machine
+ * model is immutable; see tests under -fsanitize=thread).
  */
 class SoftwarePipeliner
 {
@@ -66,10 +239,19 @@ class SoftwarePipeliner
     const PipelinerOptions& options() const { return options_; }
 
     /**
-     * Pipeline `loop`. @throws support::Error on invalid input or (with
-     * options.verify) if the produced schedule fails verification — the
-     * latter would be a library bug, surfaced loudly.
+     * Pipeline the request's loop. Never throws for bad input: problems
+     * (invalid IR, unsupported opcodes, verification failures) come back
+     * as diagnostics on the result, alongside whatever telemetry the run
+     * produced before failing.
      */
+    PipelineResult pipeline(const PipelineRequest& request) const;
+
+    /**
+     * Deprecated pre-request/result signature, kept as a thin shim:
+     * equivalent to `pipeline(PipelineRequest(loop)).artifactsOrThrow()`
+     * with the telemetry counters copied out through `counters`.
+     */
+    [[deprecated("use pipeline(const PipelineRequest&) -> PipelineResult")]]
     PipelineArtifacts pipeline(const ir::Loop& loop,
                                support::Counters* counters = nullptr) const;
 

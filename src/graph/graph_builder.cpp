@@ -26,8 +26,9 @@ registerReads(const ir::Operation& op)
 
 DepGraph
 buildDepGraph(const ir::Loop& loop, const machine::MachineModel& machine,
-              const GraphOptions& options)
+              const GraphOptions& options, support::TelemetrySink* sink)
 {
+    support::PhaseTimer timer(sink, support::Phase::kGraphBuild);
     loop.validate();
     DepGraph graph(loop.size());
 

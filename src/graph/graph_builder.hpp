@@ -5,6 +5,7 @@
 #include "graph/dep_graph.hpp"
 #include "ir/loop.hpp"
 #include "machine/machine_model.hpp"
+#include "support/telemetry.hpp"
 
 namespace ims::graph {
 
@@ -42,10 +43,14 @@ struct GraphOptions
  *
  * @throws support::Error if the machine lacks an opcode used by the loop,
  *         or if dsaForm == false and the loop has operand distances > 1.
+ *
+ * When `sink` is non-null the construction is reported as one
+ * Phase::kGraphBuild sample.
  */
 DepGraph buildDepGraph(const ir::Loop& loop,
                        const machine::MachineModel& machine,
-                       const GraphOptions& options = {});
+                       const GraphOptions& options = {},
+                       support::TelemetrySink* sink = nullptr);
 
 } // namespace ims::graph
 

@@ -7,8 +7,9 @@ namespace ims::mii {
 MiiResult
 computeMii(const ir::Loop& loop, const machine::MachineModel& machine,
            const graph::DepGraph& graph, const graph::SccResult& sccs,
-           support::Counters* counters)
+           support::Counters* counters, support::TelemetrySink* sink)
 {
+    support::PhaseTimer timer(sink, support::Phase::kMiiBounds);
     MiiResult result;
     result.resMii = computeResMii(loop, machine, counters).resMii;
     result.mii =

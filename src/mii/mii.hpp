@@ -7,6 +7,7 @@
 #include "machine/machine_model.hpp"
 #include "mii/res_mii.hpp"
 #include "support/counters.hpp"
+#include "support/telemetry.hpp"
 
 namespace ims::mii {
 
@@ -27,12 +28,16 @@ struct MiiResult
  * feasibility search starting at ResMII ("since one is interested not in
  * the RecMII but only in the MII, the initial trial value of II should be
  * the ResMII").
+ *
+ * When `sink` is non-null the computation is reported as one
+ * Phase::kMiiBounds sample.
  */
 MiiResult computeMii(const ir::Loop& loop,
                      const machine::MachineModel& machine,
                      const graph::DepGraph& graph,
                      const graph::SccResult& sccs,
-                     support::Counters* counters = nullptr);
+                     support::Counters* counters = nullptr,
+                     support::TelemetrySink* sink = nullptr);
 
 /**
  * The true RecMII for statistics (Table 3's max(0, RecMII - ResMII) row):

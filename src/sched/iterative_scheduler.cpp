@@ -234,6 +234,10 @@ IterativeScheduler::IterativeScheduler(const ir::Loop& loop,
 std::optional<ScheduleResult>
 IterativeScheduler::trySchedule(int ii, std::int64_t budget)
 {
+    support::PhaseTimer timer(options_.telemetry,
+                              support::Phase::kIiAttempt, ii);
+    timer.setSucceeded(false);
+
     const auto priority =
         computePriorities(graph_, sccs_, ii, options_.priority,
                           options_.randomSeed, counters_);
@@ -255,6 +259,7 @@ IterativeScheduler::trySchedule(int ii, std::int64_t budget)
     result.scheduleLength = attempt.schedule().timeOf(graph_.stop());
     result.stepsUsed = attempt.stepsUsed();
     result.unschedules = attempt.unschedules();
+    timer.setSucceeded(true);
     return result;
 }
 

@@ -11,6 +11,7 @@
 #include "machine/machine_model.hpp"
 #include "sched/priority.hpp"
 #include "support/counters.hpp"
+#include "support/telemetry.hpp"
 
 namespace ims::sched {
 
@@ -54,6 +55,12 @@ struct IterativeScheduleOptions
     std::uint64_t randomSeed = 1;
     /** When non-null, every scheduling step is appended here. */
     std::vector<TraceEvent>* trace = nullptr;
+    /**
+     * When non-null, every trySchedule invocation is reported as one
+     * Phase::kIiAttempt sample (detail = the candidate II, succeeded =
+     * whether a schedule was found).
+     */
+    support::TelemetrySink* telemetry = nullptr;
 };
 
 /** A complete modulo schedule for one II. */

@@ -43,8 +43,10 @@ class LinearReservationTable
 
 ListScheduleResult
 listSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
-             const graph::DepGraph& graph, support::Counters* counters)
+             const graph::DepGraph& graph, support::Counters* counters,
+             support::TelemetrySink* sink)
 {
+    support::PhaseTimer timer(sink, support::Phase::kListSchedule);
     const auto height = computeAcyclicHeight(graph, counters);
 
     // Operation scheduling in decreasing height order; distance-0 edges

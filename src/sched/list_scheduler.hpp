@@ -7,6 +7,7 @@
 #include "ir/loop.hpp"
 #include "machine/machine_model.hpp"
 #include "support/counters.hpp"
+#include "support/telemetry.hpp"
 
 namespace ims::sched {
 
@@ -36,7 +37,8 @@ struct ListScheduleResult
 ListScheduleResult listSchedule(const ir::Loop& loop,
                                 const machine::MachineModel& machine,
                                 const graph::DepGraph& graph,
-                                support::Counters* counters = nullptr);
+                                support::Counters* counters = nullptr,
+                                support::TelemetrySink* sink = nullptr);
 
 } // namespace ims::sched
 

@@ -18,7 +18,8 @@ moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
     support::check(options.budgetRatio > 0, "BudgetRatio must be positive");
 
     const mii::MiiResult mii = mii::computeMii(loop, machine, graph, sccs,
-                                               counters);
+                                               counters,
+                                               options.inner.telemetry);
 
     // NumberOfOperations in Figure 2/3 counts the dependence-graph
     // operations including the START/STOP pseudo-ops (operation 1 is
@@ -34,6 +35,7 @@ moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
     ModuloScheduleOutcome outcome;
     outcome.resMii = mii.resMii;
     outcome.mii = mii.mii;
+    outcome.budget = budget;
 
     for (int ii = mii.mii; ii <= mii.mii + options.maxIiIncrease; ++ii) {
         ++outcome.attempts;

@@ -38,6 +38,8 @@ struct ModuloScheduleOutcome
     int mii = 1;
     /** Number of candidate IIs attempted (>= 1). */
     int attempts = 0;
+    /** Per-attempt step budget (BudgetRatio * NumberOfOperations). */
+    std::int64_t budget = 0;
     /** Scheduling steps summed over all attempts, failed ones included. */
     std::int64_t totalSteps = 0;
     /** Unschedule steps summed over all attempts. */

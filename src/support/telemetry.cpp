@@ -1,0 +1,489 @@
+#include "support/telemetry.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <functional>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace ims::support {
+
+namespace {
+
+constexpr std::array<const char*, kNumPhases> kPhaseNames = {
+    "graph_build", "mii_bounds", "ii_attempt", "list_schedule",
+    "codegen",     "lifetimes",  "regalloc",   "verify",
+};
+
+/** Name <-> member map keeping the JSON schema and Counters in lockstep. */
+struct CounterField
+{
+    const char* name;
+    std::uint64_t Counters::* field;
+};
+
+constexpr std::array<CounterField, 9> kCounterFields = {{
+    {"scc_edge_visits", &Counters::sccEdgeVisits},
+    {"res_mii_inspections", &Counters::resMiiInspections},
+    {"min_dist_inner_steps", &Counters::minDistInnerSteps},
+    {"min_dist_invocations", &Counters::minDistInvocations},
+    {"height_r_inner_steps", &Counters::heightRInnerSteps},
+    {"estart_predecessor_visits", &Counters::estartPredecessorVisits},
+    {"find_time_slot_probes", &Counters::findTimeSlotProbes},
+    {"schedule_steps", &Counters::scheduleSteps},
+    {"unschedule_steps", &Counters::unscheduleSteps},
+}};
+
+/** Shortest representation that round-trips a double. */
+std::string
+formatJsonDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+void
+appendJsonString(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Minimal recursive-descent parser for the subset of JSON the telemetry
+ * schema uses (objects, arrays, strings, numbers, booleans). Kept local to
+ * this file; the library has no general JSON dependency.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    /** Parse one value and require end of input. */
+    void
+    parseDocument(const std::function<void(JsonParser&)>& object_body)
+    {
+        skipSpace();
+        parseObject(object_body);
+        skipSpace();
+        check(pos_ == text_.size(), "trailing characters");
+    }
+
+    /** At an object: calls `body` once per key (cursor on the value). */
+    void
+    parseObject(const std::function<void(JsonParser&)>& body)
+    {
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skipSpace();
+            key_ = parseString();
+            skipSpace();
+            expect(':');
+            skipSpace();
+            body(*this);
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    /** At an array: calls `element` once per element. */
+    void
+    parseArray(const std::function<void(JsonParser&)>& element)
+    {
+        expect('[');
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skipSpace();
+            element(*this);
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return;
+        }
+    }
+
+    /** Key of the object entry currently being parsed. */
+    const std::string& key() const { return key_; }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            check(pos_ < text_.size(), "unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                check(pos_ < text_.size(), "unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    check(pos_ + 4 <= text_.size(), "bad \\u escape");
+                    const int code =
+                        std::stoi(text_.substr(pos_, 4), nullptr, 16);
+                    pos_ += 4;
+                    check(code < 0x80, "non-ASCII \\u escape unsupported");
+                    out += static_cast<char>(code);
+                    break;
+                }
+                default: fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        check(pos_ > start, "expected number");
+        return std::stod(text_.substr(start, pos_ - start));
+    }
+
+    bool
+    parseBool()
+    {
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return false;
+        }
+        fail("expected boolean");
+    }
+
+    /** Skip any single value (unknown keys stay forward-compatible). */
+    void
+    skipValue()
+    {
+        skipSpace();
+        const char c = peek();
+        if (c == '{')
+            parseObject([](JsonParser& p) { p.skipValue(); });
+        else if (c == '[')
+            parseArray([](JsonParser& p) { p.skipValue(); });
+        else if (c == '"')
+            parseString();
+        else if (c == 't' || c == 'f')
+            parseBool();
+        else
+            parseNumber();
+    }
+
+  private:
+    char
+    peek() const
+    {
+        check(pos_ < text_.size(), "unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        check(pos_ < text_.size() && text_[pos_] == c,
+              std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    static void
+    check(bool condition, const std::string& message)
+    {
+        if (!condition)
+            fail(message);
+    }
+
+    [[noreturn]] static void
+    fail(const std::string& message)
+    {
+        throw Error("telemetry JSON: " + message);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::string key_;
+};
+
+} // namespace
+
+const char*
+phaseName(Phase phase)
+{
+    return kPhaseNames[static_cast<int>(phase)];
+}
+
+std::optional<Phase>
+phaseByName(std::string_view name)
+{
+    for (int i = 0; i < kNumPhases; ++i) {
+        if (name == kPhaseNames[i])
+            return static_cast<Phase>(i);
+    }
+    return std::nullopt;
+}
+
+PhaseTimer::PhaseTimer(TelemetrySink* sink, Phase phase, int detail)
+    : sink_(sink)
+{
+    sample_.phase = phase;
+    sample_.detail = detail;
+    if (sink_ != nullptr)
+        start_ = std::chrono::steady_clock::now();
+}
+
+PhaseTimer::~PhaseTimer()
+{
+    if (sink_ == nullptr)
+        return;
+    sample_.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    sink_->onPhase(sample_);
+}
+
+double
+PipelineTelemetry::phaseSeconds(Phase phase) const
+{
+    double total = 0.0;
+    for (const auto& sample : phases) {
+        if (sample.phase == phase)
+            total += sample.seconds;
+    }
+    return total;
+}
+
+int
+PipelineTelemetry::phaseCalls(Phase phase) const
+{
+    int calls = 0;
+    for (const auto& sample : phases) {
+        if (sample.phase == phase)
+            ++calls;
+    }
+    return calls;
+}
+
+std::string
+PipelineTelemetry::toJson() const
+{
+    std::string out = "{";
+    out += "\"schema\":\"ims.telemetry.v1\",";
+    out += "\"loop\":";
+    appendJsonString(out, loop);
+    out += ",\"ops\":" + std::to_string(ops);
+    out += ",\"succeeded\":" + std::string(succeeded ? "true" : "false");
+    out += ",\"res_mii\":" + std::to_string(resMii);
+    out += ",\"mii\":" + std::to_string(mii);
+    out += ",\"ii\":" + std::to_string(ii);
+    out += ",\"attempts\":" + std::to_string(attempts);
+    out += ",\"schedule_length\":" + std::to_string(scheduleLength);
+    out += ",\"budget\":" + std::to_string(budget);
+    out += ",\"steps_total\":" + std::to_string(stepsTotal);
+    out += ",\"backtracks\":" + std::to_string(backtracks);
+    out += ",\"wall_seconds\":" + formatJsonDouble(wallSeconds);
+    out += ",\"phases\":[";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const auto& sample = phases[i];
+        if (i > 0)
+            out += ',';
+        out += "{\"name\":\"";
+        out += phaseName(sample.phase);
+        out += "\",\"detail\":" + std::to_string(sample.detail);
+        out += ",\"seconds\":" + formatJsonDouble(sample.seconds);
+        out += ",\"ok\":" + std::string(sample.succeeded ? "true" : "false");
+        out += '}';
+    }
+    out += "],\"counters\":{";
+    for (std::size_t i = 0; i < kCounterFields.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += '"';
+        out += kCounterFields[i].name;
+        out += "\":" + std::to_string(counters.*kCounterFields[i].field);
+    }
+    out += "}}";
+    return out;
+}
+
+PipelineTelemetry
+parseTelemetryJson(const std::string& json)
+{
+    PipelineTelemetry t;
+    JsonParser parser(json);
+    parser.parseDocument([&t](JsonParser& p) {
+        const std::string& key = p.key();
+        if (key == "schema") {
+            const std::string schema = p.parseString();
+            if (schema != "ims.telemetry.v1")
+                throw Error("telemetry JSON: unknown schema '" + schema +
+                            "'");
+        } else if (key == "loop") {
+            t.loop = p.parseString();
+        } else if (key == "ops") {
+            t.ops = static_cast<int>(p.parseNumber());
+        } else if (key == "succeeded") {
+            t.succeeded = p.parseBool();
+        } else if (key == "res_mii") {
+            t.resMii = static_cast<int>(p.parseNumber());
+        } else if (key == "mii") {
+            t.mii = static_cast<int>(p.parseNumber());
+        } else if (key == "ii") {
+            t.ii = static_cast<int>(p.parseNumber());
+        } else if (key == "attempts") {
+            t.attempts = static_cast<int>(p.parseNumber());
+        } else if (key == "schedule_length") {
+            t.scheduleLength = static_cast<int>(p.parseNumber());
+        } else if (key == "budget") {
+            t.budget = static_cast<std::int64_t>(p.parseNumber());
+        } else if (key == "steps_total") {
+            t.stepsTotal = static_cast<std::int64_t>(p.parseNumber());
+        } else if (key == "backtracks") {
+            t.backtracks = static_cast<std::int64_t>(p.parseNumber());
+        } else if (key == "wall_seconds") {
+            t.wallSeconds = p.parseNumber();
+        } else if (key == "phases") {
+            p.parseArray([&t](JsonParser& q) {
+                PhaseSample sample;
+                q.parseObject([&sample](JsonParser& r) {
+                    const std::string& field = r.key();
+                    if (field == "name") {
+                        const std::string name = r.parseString();
+                        const auto phase = phaseByName(name);
+                        if (!phase)
+                            throw Error("telemetry JSON: unknown phase '" +
+                                        name + "'");
+                        sample.phase = *phase;
+                    } else if (field == "detail") {
+                        sample.detail = static_cast<int>(r.parseNumber());
+                    } else if (field == "seconds") {
+                        sample.seconds = r.parseNumber();
+                    } else if (field == "ok") {
+                        sample.succeeded = r.parseBool();
+                    } else {
+                        r.skipValue();
+                    }
+                });
+                t.phases.push_back(sample);
+            });
+        } else if (key == "counters") {
+            p.parseObject([&t](JsonParser& q) {
+                for (const auto& field : kCounterFields) {
+                    if (q.key() == field.name) {
+                        t.counters.*field.field =
+                            static_cast<std::uint64_t>(q.parseNumber());
+                        return;
+                    }
+                }
+                q.skipValue();
+            });
+        } else {
+            p.skipValue();
+        }
+    });
+    return t;
+}
+
+TextTable
+telemetryTable(const std::vector<PipelineTelemetry>& records)
+{
+    TextTable table("pipeline telemetry");
+    table.addHeader({"loop", "ops", "MII", "II", "att", "steps", "backtr",
+                     "graph ms", "mii ms", "sched ms", "codegen ms",
+                     "regalloc ms", "total ms"});
+    const auto ms = [](double seconds) {
+        return formatDouble(seconds * 1e3, 3);
+    };
+    for (const auto& t : records) {
+        table.addRow({t.loop, std::to_string(t.ops), std::to_string(t.mii),
+                      std::to_string(t.ii), std::to_string(t.attempts),
+                      std::to_string(t.stepsTotal),
+                      std::to_string(t.backtracks),
+                      ms(t.phaseSeconds(Phase::kGraphBuild)),
+                      ms(t.phaseSeconds(Phase::kMiiBounds)),
+                      ms(t.phaseSeconds(Phase::kIiAttempt) +
+                         t.phaseSeconds(Phase::kListSchedule)),
+                      ms(t.phaseSeconds(Phase::kCodegen) +
+                         t.phaseSeconds(Phase::kLifetimes)),
+                      ms(t.phaseSeconds(Phase::kRegAlloc)),
+                      ms(t.wallSeconds)});
+    }
+    return table;
+}
+
+void
+TelemetryRecorder::onPhase(const PhaseSample& sample)
+{
+    record_.phases.push_back(sample);
+}
+
+void
+TelemetryRecorder::onCounters(const Counters& delta)
+{
+    record_.counters += delta;
+}
+
+} // namespace ims::support

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch_pipeliner.hpp"
+#include "machine/cydra5.hpp"
+#include "support/telemetry.hpp"
+#include "workloads/corpus.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+using namespace ims;
+
+std::vector<ir::Loop>
+libraryLoops()
+{
+    std::vector<ir::Loop> loops;
+    for (const auto& w : workloads::kernelLibrary())
+        loops.push_back(w.loop);
+    return loops;
+}
+
+TEST(BatchPipelinerTest, PipelinesTheWholeKernelLibrary)
+{
+    const auto loops = libraryLoops();
+    core::BatchPipeliner batch(machine::cydra5());
+    const auto result = batch.run(loops);
+
+    ASSERT_EQ(result.items.size(), loops.size());
+    EXPECT_EQ(result.failures(), 0u);
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        EXPECT_EQ(result.items[i].name, loops[i].name()) << i;
+        ASSERT_TRUE(result.items[i].result.ok()) << loops[i].name();
+        EXPECT_GE(result.items[i].result.telemetry.ii,
+                  result.items[i].result.telemetry.mii);
+    }
+}
+
+TEST(BatchPipelinerTest, DeterministicAcrossThreadCounts)
+{
+    const auto loops = libraryLoops();
+    const auto machine = machine::cydra5();
+
+    const auto baseline =
+        core::BatchPipeliner(machine, core::BatchOptions{}.withThreads(1))
+            .run(loops);
+
+    for (const int threads : {2, 3, 8}) {
+        const auto parallel =
+            core::BatchPipeliner(machine,
+                                 core::BatchOptions{}.withThreads(threads))
+                .run(loops);
+        ASSERT_EQ(parallel.items.size(), baseline.items.size());
+        for (std::size_t i = 0; i < baseline.items.size(); ++i) {
+            const auto& a = baseline.items[i];
+            const auto& b = parallel.items[i];
+            EXPECT_EQ(a.name, b.name);
+            ASSERT_TRUE(a.result.ok());
+            ASSERT_TRUE(b.result.ok()) << a.name << " @" << threads;
+            const auto& sa = a.result.artifacts->outcome.schedule;
+            const auto& sb = b.result.artifacts->outcome.schedule;
+            // Bitwise-identical schedules for any pool size.
+            EXPECT_EQ(sa.ii, sb.ii) << a.name;
+            EXPECT_EQ(sa.times, sb.times) << a.name;
+            EXPECT_EQ(sa.alternatives, sb.alternatives) << a.name;
+            EXPECT_EQ(sa.scheduleLength, sb.scheduleLength) << a.name;
+            EXPECT_EQ(a.result.artifacts->registers.rotatingRegisters,
+                      b.result.artifacts->registers.rotatingRegisters)
+                << a.name;
+        }
+    }
+}
+
+TEST(BatchPipelinerTest, OneBadLoopDoesNotSinkTheBatch)
+{
+    const auto library = workloads::kernelLibrary();
+    std::vector<ir::Loop> loops;
+    for (int i = 0; i < 10; ++i)
+        loops.push_back(library[i].loop);
+
+    std::vector<core::PipelineRequest> requests;
+    for (const auto& loop : loops)
+        requests.emplace_back(loop);
+    // Sabotage request 4: non-DSA mode rejects the distance>1 operands
+    // every library kernel's back-substituted counter uses.
+    requests[4].withOptions(core::PipelinerOptions{}.withDsaForm(false));
+
+    core::BatchPipeliner batch(machine::cydra5(),
+                               core::BatchOptions{}.withThreads(4));
+    const auto result = batch.run(requests);
+
+    ASSERT_EQ(result.items.size(), 10u);
+    EXPECT_EQ(result.failures(), 1u);
+    EXPECT_EQ(result.successes(), 9u);
+    EXPECT_FALSE(result.items[4].result.ok());
+    ASSERT_FALSE(result.items[4].result.diagnostics.empty());
+    EXPECT_EQ(result.items[4].result.diagnostics[0].severity,
+              core::Diagnostic::Severity::kError);
+    EXPECT_EQ(result.items[4].name, loops[4].name());
+    for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 7u, 8u, 9u})
+        EXPECT_TRUE(result.items[i].result.ok()) << i;
+}
+
+TEST(BatchPipelinerTest, SummaryTableAggregatesDistributions)
+{
+    const auto loops = libraryLoops();
+    core::BatchPipeliner batch(machine::cydra5(),
+                               core::BatchOptions{}.withThreads(2));
+    const auto result = batch.run(loops);
+
+    const std::string summary = result.summaryTable();
+    EXPECT_NE(summary.find("II / MII"), std::string::npos);
+    EXPECT_NE(summary.find("candidate IIs attempted"), std::string::npos);
+    EXPECT_NE(summary.find("wall ms per loop"), std::string::npos);
+    EXPECT_NE(summary.find(std::to_string(loops.size())),
+              std::string::npos);
+}
+
+TEST(BatchPipelinerTest, TelemetryJsonIsAParsableArray)
+{
+    std::vector<ir::Loop> loops;
+    loops.push_back(workloads::kernelByName("daxpy").loop);
+    loops.push_back(workloads::kernelByName("tridiag").loop);
+    core::BatchPipeliner batch(machine::cydra5());
+    const auto result = batch.run(loops);
+
+    const std::string json = result.telemetryJson();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    // Each element round-trips through the single-record parser.
+    for (const auto& item : result.items) {
+        const auto reparsed =
+            support::parseTelemetryJson(item.result.telemetry.toJson());
+        EXPECT_EQ(reparsed.loop, item.name);
+        EXPECT_EQ(reparsed.ii, item.result.telemetry.ii);
+    }
+}
+
+TEST(BatchPipelinerTest, DefaultThreadCountRuns)
+{
+    std::vector<ir::Loop> loops;
+    loops.push_back(workloads::kernelByName("daxpy").loop);
+    core::BatchPipeliner batch(machine::cydra5());
+    EXPECT_EQ(batch.options().threads, 0);
+    const auto result = batch.run(loops);
+    EXPECT_EQ(result.failures(), 0u);
+    EXPECT_GE(result.threadsUsed, 1);
+    EXPECT_GT(result.wallSeconds, 0.0);
+}
+
+TEST(BatchPipelinerTest, EmptyBatchIsFine)
+{
+    core::BatchPipeliner batch(machine::cydra5());
+    const auto result = batch.run(std::vector<ir::Loop>{});
+    EXPECT_TRUE(result.items.empty());
+    EXPECT_EQ(result.failures(), 0u);
+    EXPECT_NE(result.summaryTable().find("0/0"), std::string::npos);
+}
+
+TEST(BatchPipelinerTest, MatchesSingleLoopPipeliner)
+{
+    // The batch driver must produce exactly what one-at-a-time calls do.
+    const auto loops = libraryLoops();
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner single(machine);
+    core::BatchPipeliner batch(machine,
+                               core::BatchOptions{}.withThreads(3));
+    const auto result = batch.run(loops);
+    ASSERT_EQ(result.items.size(), loops.size());
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        const auto one = single.pipeline(core::PipelineRequest(loops[i]));
+        ASSERT_TRUE(one.ok());
+        ASSERT_TRUE(result.items[i].result.ok());
+        EXPECT_EQ(one.artifacts->outcome.schedule.times,
+                  result.items[i].result.artifacts->outcome.schedule.times)
+            << loops[i].name();
+    }
+}
+
+} // namespace

@@ -20,7 +20,9 @@ pipelineKernel(const std::string& name)
 {
     static const machine::MachineModel machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
-    return pipeliner.pipeline(workloads::kernelByName(name).loop);
+    const auto loop = workloads::kernelByName(name).loop;
+    return pipeliner.pipeline(core::PipelineRequest(loop))
+        .artifactsOrThrow();
 }
 
 TEST(KernelTest, StageAndSlotDecomposeScheduleTime)
@@ -68,7 +70,7 @@ TEST(LifetimeTest, UnusedResultStillLivesForItsLatency)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName("init_store");
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     for (const auto& lifetime : artifacts.lifetimes.lifetimes) {
         const auto opcode = w.loop.operation(lifetime.def).opcode;
         EXPECT_GE(lifetime.length(), machine.latency(opcode));
@@ -187,7 +189,7 @@ TEST(EmitTest, ListingMentionsAllSections)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName("daxpy");
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const std::string listing = codegen::emitListing(
         w.loop, artifacts.code, artifacts.registers);
     EXPECT_NE(listing.find("prologue"), std::string::npos);
@@ -201,7 +203,7 @@ TEST(EmitTest, KernelDumpShowsStages)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName("daxpy");
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const std::string text = codegen::emitKernel(w.loop, artifacts.code);
     EXPECT_NE(text.find("stage"), std::string::npos);
     EXPECT_NE(text.find("row 0"), std::string::npos);
@@ -220,7 +222,7 @@ TEST(SectionExecutorTest, GeneratedCodeMatchesSequentialSemantics)
           "mem_recurrence", "cond_store", "argmax_like", "iccg_like",
           "fat_loop"}) {
         const auto w = workloads::kernelByName(name);
-        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         const int trip =
             std::max(40, artifacts.code.kernel.stageCount + 3);
         const auto spec = workloads::makeSimSpec(w.loop, trip, 21);
@@ -236,7 +238,7 @@ TEST(SectionExecutorTest, ShortTripCountsRejected)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("vec_copy"); // many stages
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     ASSERT_GT(artifacts.code.kernel.stageCount, 2);
     const auto spec = workloads::makeSimSpec(
         w.loop, artifacts.code.kernel.stageCount - 1, 3);
@@ -255,7 +257,7 @@ TEST(KernelOnlyTest, MatchesSequentialSemantics)
          {"daxpy", "vec_copy", "first_order_rec", "cond_store",
           "mem_recurrence"}) {
         const auto w = workloads::kernelByName(name);
-        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         const auto kernel_only = codegen::generateKernelOnly(
             w.loop, artifacts.outcome.schedule);
         for (const int trip : {2, artifacts.code.kernel.stageCount, 40}) {
@@ -301,7 +303,7 @@ TEST(EmitTest, MveUnrolledKernelEmitsEachCopy)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName("vec_copy"); // big unroll
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     ASSERT_GT(artifacts.code.mve.unroll, 1);
     const std::string listing = codegen::emitListing(
         w.loop, artifacts.code, artifacts.registers);

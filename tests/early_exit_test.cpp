@@ -86,7 +86,7 @@ TEST(EarlyExitTest, PipelinedSpeculationSquashesExactly)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("search_sum");
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
 
     for (const int exit_at : {0, 1, 7, 19}) {
         std::vector<double> x(20, 1.0);
@@ -106,7 +106,7 @@ TEST(EarlyExitTest, RandomizedContentsStayEquivalent)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("search_sum");
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     for (int seed = 0; seed < 10; ++seed) {
         const auto spec = workloads::makeSimSpec(w.loop, 30, seed);
         const auto seq = sim::runSequential(w.loop, spec);
@@ -123,7 +123,7 @@ TEST(EarlyExitTest, ExitBeforeStoreInTheSchedule)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("search_sum");
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     int exit_time = -1, store_time = -1;
     for (const auto& op : w.loop.operations()) {
         if (op.opcode == Opcode::kExitIf)
@@ -139,7 +139,7 @@ TEST(EarlyExitTest, SectionSchemasRejectEarlyExitLoops)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("search_sum");
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const auto spec = workloads::makeSimSpec(w.loop, 30, 2);
     EXPECT_THROW(sim::runGeneratedCode(w.loop, artifacts.code, spec),
                  support::Error);

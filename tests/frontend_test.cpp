@@ -120,7 +120,7 @@ TEST(RegionBuilderTest, PipelinesAndPreservesSemantics)
     core::SoftwarePipeliner pipeliner(machine);
     for (const auto& loop :
          {sumPositiveSquares(), nestedClip(), splitStreams()}) {
-        const auto artifacts = pipeliner.pipeline(loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(loop)).artifactsOrThrow();
         const auto spec = workloads::makeSimSpec(loop, 30, 17);
         const auto seq = sim::runSequential(loop, spec);
         const auto pipe =

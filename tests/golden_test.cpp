@@ -47,7 +47,7 @@ TEST(GoldenTest, KernelIisOnCydra5)
     core::SoftwarePipeliner pipeliner(machine);
     for (const auto& golden : kGolden) {
         const auto w = workloads::kernelByName(golden.kernel);
-        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         EXPECT_EQ(artifacts.outcome.mii, golden.mii) << golden.kernel;
         EXPECT_EQ(artifacts.outcome.schedule.ii, golden.ii)
             << golden.kernel;

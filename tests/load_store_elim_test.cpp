@@ -82,7 +82,7 @@ TEST(LoadStoreElimTest, PipelinedForwardedLoopStaysEquivalent)
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("mem_recurrence");
     const auto result = transform::eliminateRedundantLoads(w.loop);
-    const auto artifacts = pipeliner.pipeline(result.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(result.loop)).artifactsOrThrow();
 
     const auto spec = workloads::makeSimSpec(w.loop, 20, 13);
     const auto forwarded_spec = transform::forwardedSimSpec(result, spec);

@@ -2,6 +2,7 @@
 
 #include "core/pipeliner.hpp"
 #include "core/report.hpp"
+#include "support/error.hpp"
 #include "ir/parser.hpp"
 #include "machine/cydra5.hpp"
 #include "machine/machines.hpp"
@@ -16,7 +17,7 @@ TEST(PipelinerTest, EndToEndDaxpy)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("daxpy");
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
 
     EXPECT_EQ(artifacts.outcome.schedule.ii, 2);
     EXPECT_GE(artifacts.outcome.schedule.scheduleLength,
@@ -43,7 +44,7 @@ _ = branch n
 )";
     const auto loop = ir::parseLoop(text);
     core::SoftwarePipeliner pipeliner(machine::cydra5());
-    const auto artifacts = pipeliner.pipeline(loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(loop)).artifactsOrThrow();
     EXPECT_EQ(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
 }
 
@@ -52,7 +53,7 @@ TEST(PipelinerTest, ReportContainsKeyFacts)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("tridiag");
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const std::string text = core::report(w.loop, machine, artifacts);
     EXPECT_NE(text.find("MII = 9"), std::string::npos);
     EXPECT_NE(text.find("achieved II = 9"), std::string::npos);
@@ -70,22 +71,95 @@ TEST(PipelinerTest, ConservativeDelayModeStillPipelines)
     options.graph.delayMode = graph::DelayMode::kConservative;
     core::SoftwarePipeliner pipeliner(machine::cydra5(), options);
     const auto w = workloads::kernelByName("daxpy");
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     EXPECT_GE(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
 }
 
-TEST(PipelinerTest, CountersAggregateAcrossPhases)
+// The pre-request/result signature must keep compiling and behaving until
+// every downstream caller has migrated (docs/api.md has the note).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(PipelinerTest, DeprecatedShimCountersAggregateAcrossPhases)
 {
     core::SoftwarePipeliner pipeliner(machine::cydra5());
     const auto w = workloads::kernelByName("state_frag");
     support::Counters counters;
-    pipeliner.pipeline(w.loop, &counters);
+    const auto artifacts = pipeliner.pipeline(w.loop, &counters);
+    EXPECT_GE(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
     EXPECT_GT(counters.resMiiInspections, 0u);
     EXPECT_GT(counters.minDistInvocations, 0u);
     EXPECT_GT(counters.heightRInnerSteps, 0u);
     EXPECT_GT(counters.estartPredecessorVisits, 0u);
     EXPECT_GT(counters.findTimeSlotProbes, 0u);
     EXPECT_GT(counters.scheduleSteps, 0u);
+}
+
+TEST(PipelinerTest, DeprecatedShimStillThrowsOnBadInput)
+{
+    const auto w = workloads::kernelByName("daxpy");
+    core::PipelinerOptions options;
+    options.graph.dsaForm = false; // distance-3 operands are rejected
+    core::SoftwarePipeliner pipeliner(machine::cydra5(), options);
+    EXPECT_THROW(pipeliner.pipeline(w.loop), support::Error);
+}
+#pragma GCC diagnostic pop
+
+TEST(PipelinerTest, RequestResultReportsDiagnosticsInsteadOfThrowing)
+{
+    const auto w = workloads::kernelByName("daxpy");
+    core::SoftwarePipeliner pipeliner(machine::cydra5());
+
+    auto request = core::PipelineRequest(w.loop).withOptions(
+        core::PipelinerOptions{}.withDsaForm(false));
+    const auto result = pipeliner.pipeline(request);
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.diagnostics.size(), 1u);
+    EXPECT_EQ(result.diagnostics[0].severity,
+              core::Diagnostic::Severity::kError);
+    EXPECT_EQ(result.diagnostics[0].phase, "graph_build");
+    EXPECT_FALSE(result.firstError().empty());
+    EXPECT_THROW(result.artifactsOrThrow(), support::Error);
+    // The failed run still carries its identity in the telemetry record.
+    EXPECT_EQ(result.telemetry.loop, w.loop.name());
+    EXPECT_FALSE(result.telemetry.succeeded);
+}
+
+TEST(PipelinerTest, RequestOptionsOverridePipelinerOptions)
+{
+    const auto w = workloads::kernelByName("daxpy");
+    // Pipeliner-level options would reject the loop; the per-request
+    // override restores the defaults, so the call must succeed.
+    core::SoftwarePipeliner pipeliner(
+        machine::cydra5(), core::PipelinerOptions{}.withDsaForm(false));
+    const auto result = pipeliner.pipeline(
+        core::PipelineRequest(w.loop).withOptions(core::PipelinerOptions{}));
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.telemetry.ii, result.telemetry.mii);
+}
+
+TEST(PipelinerTest, BuilderStyleOptionSettersCompose)
+{
+    const auto options = core::PipelinerOptions{}
+                             .withBudgetRatio(6.0)
+                             .withPriority(sched::PriorityScheme::kSlack)
+                             .withVerification(false)
+                             .withMaxIiIncrease(128)
+                             .withForwardProgressRule(false)
+                             .withDelayMode(graph::DelayMode::kConservative)
+                             .withRandomSeed(42);
+    EXPECT_EQ(options.schedule.budgetRatio, 6.0);
+    EXPECT_EQ(options.schedule.inner.priority,
+              sched::PriorityScheme::kSlack);
+    EXPECT_FALSE(options.verify);
+    EXPECT_EQ(options.schedule.maxIiIncrease, 128);
+    EXPECT_FALSE(options.schedule.inner.forwardProgressRule);
+    EXPECT_EQ(options.graph.delayMode, graph::DelayMode::kConservative);
+    EXPECT_EQ(options.schedule.inner.randomSeed, 42u);
+
+    const auto w = workloads::kernelByName("daxpy");
+    core::SoftwarePipeliner pipeliner(machine::cydra5(), options);
+    const auto result = pipeliner.pipeline(core::PipelineRequest(w.loop));
+    EXPECT_TRUE(result.ok());
 }
 
 TEST(PipelinerTest, MachineSweepAllKernels)
@@ -95,7 +169,7 @@ TEST(PipelinerTest, MachineSweepAllKernels)
           machine::scalarToy()}) {
         core::SoftwarePipeliner pipeliner(machine);
         for (const auto& w : workloads::kernelLibrary()) {
-            const auto artifacts = pipeliner.pipeline(w.loop);
+            const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
             EXPECT_GE(artifacts.outcome.schedule.ii,
                       artifacts.outcome.mii)
                 << machine.name() << "/" << w.loop.name();
@@ -108,8 +182,8 @@ TEST(PipelinerTest, WiderMachineNeverRaisesIi)
     core::SoftwarePipeliner narrow(machine::clean64());
     core::SoftwarePipeliner wide(machine::wideVliw());
     for (const auto& w : workloads::kernelLibrary()) {
-        const auto a = narrow.pipeline(w.loop);
-        const auto b = wide.pipeline(w.loop);
+        const auto a = narrow.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
+        const auto b = wide.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         EXPECT_LE(b.outcome.schedule.ii, a.outcome.schedule.ii)
             << w.loop.name();
     }

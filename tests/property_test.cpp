@@ -58,7 +58,7 @@ TEST_P(KernelMachineProperty, ScheduleLegalAndSemanticsPreserved)
     const auto w = workloads::kernelByName(kernel_name);
 
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const auto& schedule = artifacts.outcome.schedule;
 
     // II bounds.
@@ -115,7 +115,7 @@ TEST_P(RandomLoopProperty, RandomLoopsScheduleVerifyAndSimulate)
         const auto loop = workloads::generateLoop(
             rng, "prop_" + std::to_string(GetParam()) + "_" +
                      std::to_string(k));
-        const auto artifacts = pipeliner.pipeline(loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(loop)).artifactsOrThrow();
         EXPECT_TRUE(sched::verifySchedule(loop, machine,
                                           artifacts.depGraph,
                                           artifacts.outcome.schedule)

@@ -196,7 +196,7 @@ TEST(PipelineSimTest, CyclesFollowExecutionTimeModel)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName("daxpy");
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const auto spec = workloads::makeSimSpec(w.loop, 40, 7);
     const auto result =
         sim::runPipelined(w.loop, artifacts.outcome.schedule, spec);
@@ -210,7 +210,7 @@ TEST(PipelineSimTest, MatchesSequentialOnEveryKernel)
     const auto machine = machine::cydra5();
     core::SoftwarePipeliner pipeliner(machine);
     for (const auto& w : workloads::kernelLibrary()) {
-        const auto artifacts = pipeliner.pipeline(w.loop);
+        const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
         const auto spec = workloads::makeSimSpec(w.loop, 30, 11);
         const auto seq = sim::runSequential(w.loop, spec);
         const auto pipe =
@@ -224,7 +224,7 @@ TEST(PipelineSimTest, TripCountOfOneStillWorks)
     const auto machine = machine::cydra5();
     const auto w = workloads::kernelByName("daxpy");
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(w.loop);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(w.loop)).artifactsOrThrow();
     const auto spec = workloads::makeSimSpec(w.loop, 1, 5);
     const auto seq = sim::runSequential(w.loop, spec);
     const auto pipe =

@@ -152,7 +152,7 @@ TEST(UnrollTest, UnrolledLoopStillPipelinesAndSimulates)
     core::SoftwarePipeliner pipeliner(machine);
     const auto w = workloads::kernelByName("daxpy");
     const auto unrolled = transform::unrollLoop(w.loop, 2);
-    const auto artifacts = pipeliner.pipeline(unrolled);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(unrolled)).artifactsOrThrow();
     EXPECT_GE(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
 
     const int trip = 24;
@@ -180,7 +180,7 @@ TEST(UnrollTest, RecoversFractionalResMii)
     EXPECT_EQ(res2.resMii, 3); // 1.5 per original iteration
 
     core::SoftwarePipeliner pipeliner(machine);
-    const auto artifacts = pipeliner.pipeline(unrolled);
+    const auto artifacts = pipeliner.pipeline(core::PipelineRequest(unrolled)).artifactsOrThrow();
     EXPECT_LT(static_cast<double>(artifacts.outcome.schedule.ii) / 2,
               2.0);
 }

@@ -16,6 +16,7 @@
  *   --listing                print the full prologue/kernel/epilogue
  *   --kernel-only            print the [36] kernel-only schema instead
  *   --trace                  print the per-step scheduling trace
+ *   --telemetry              print the per-loop telemetry record as JSON
  *   --simulate <trip>        validate against the sequential semantics
  *   --quiet                  one summary line per loop only
  */
@@ -49,6 +50,7 @@ struct CliOptions
     bool listing = false;
     bool kernelOnly = false;
     bool trace = false;
+    bool telemetry = false;
     int simulateTrip = 0;
     bool quiet = false;
     bool listKernels = false;
@@ -65,8 +67,8 @@ usage(int code)
            "  --machine cydra5|clean64|wide-vliw|scalar-toy\n"
            "  --budget-ratio <r>   --priority "
            "heightr|slack|source-order|random\n"
-           "  --listing  --kernel-only  --trace  --simulate <trip>  "
-           "--quiet\n";
+           "  --listing  --kernel-only  --trace  --telemetry  "
+           "--simulate <trip>  --quiet\n";
     std::exit(code);
 }
 
@@ -125,6 +127,8 @@ parseArgs(int argc, char** argv)
             options.kernelOnly = true;
         else if (arg == "--trace")
             options.trace = true;
+        else if (arg == "--telemetry")
+            options.telemetry = true;
         else if (arg == "--simulate")
             options.simulateTrip = std::stoi(next("a trip count"));
         else if (arg == "--quiet")
@@ -175,7 +179,20 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
         pipeline_options.schedule.inner.trace = &trace;
 
     core::SoftwarePipeliner pipeliner(machine, pipeline_options);
-    const auto artifacts = pipeliner.pipeline(loop);
+    const auto result = pipeliner.pipeline(core::PipelineRequest(loop));
+    if (!result.ok()) {
+        for (const auto& diagnostic : result.diagnostics) {
+            std::cerr << loop.name() << ": "
+                      << (diagnostic.severity ==
+                                  core::Diagnostic::Severity::kError
+                              ? "error"
+                              : "warning")
+                      << " [" << diagnostic.phase
+                      << "]: " << diagnostic.message << "\n";
+        }
+        return 1;
+    }
+    const auto& artifacts = *result.artifacts;
 
     if (options.quiet) {
         std::cout << core::summaryLine(loop, artifacts) << "\n";
@@ -189,6 +206,9 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
                       << " Estart=" << e.estart << " -> t=" << e.slot
                       << (e.forced ? " (forced)" : "") << "\n";
         }
+    }
+    if (options.telemetry) {
+        std::cout << result.telemetry.toJson() << "\n";
     }
     if (options.listing) {
         std::cout << codegen::emitListing(loop, artifacts.code,
