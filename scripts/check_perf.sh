@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build the scheduler hot-path benchmark in Release mode, verify schedule
+# identity against the checked-in seed golden, and fail if any throughput
+# metric regresses by more than 10% against the checked-in baseline
+# (BENCH_sched_hotpath.json at the repo root).
+#
+# Usage: scripts/check_perf.sh [build-dir]   (default: build-perf)
+#
+# To refresh the baseline after an intentional performance change:
+#   <build-dir>/bench/bench_sched_hotpath \
+#       --golden bench/data/sched_identity_seed.json \
+#       --out BENCH_sched_hotpath.json
+# and commit the new BENCH_sched_hotpath.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-perf}"
+BASELINE="BENCH_sched_hotpath.json"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "check_perf: missing baseline $BASELINE" >&2
+    exit 1
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_sched_hotpath
+
+echo "== bench_sched_hotpath (identity + >10% regression gate) =="
+"$BUILD_DIR/bench/bench_sched_hotpath" \
+    --golden bench/data/sched_identity_seed.json \
+    --baseline "$BASELINE" \
+    --out "$BUILD_DIR/BENCH_sched_hotpath.json"
+
+echo "perf: all checks passed"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full local CI: tier-1 tests, ThreadSanitizer concurrency checks, and the
+# scheduler hot-path performance gate.
+#
+# Usage: scripts/ci.sh
+#   IMS_CI_SKIP_TSAN=1  skips the ThreadSanitizer stage (e.g. where the
+#                       toolchain lacks tsan runtime support).
+#   IMS_CI_SKIP_PERF=1  skips the performance gate (e.g. on loaded or
+#                       throttled machines where timing is meaningless).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==== stage 1/3: tier-1 tests ===="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "${IMS_CI_SKIP_TSAN:-0}" != "1" ]; then
+    echo "==== stage 2/3: ThreadSanitizer ===="
+    scripts/check_tsan.sh
+else
+    echo "==== stage 2/3: ThreadSanitizer (skipped) ===="
+fi
+
+if [ "${IMS_CI_SKIP_PERF:-0}" != "1" ]; then
+    echo "==== stage 3/3: performance gate ===="
+    scripts/check_perf.sh
+else
+    echo "==== stage 3/3: performance gate (skipped) ===="
+fi
+
+echo "ci: all stages passed"

@@ -56,6 +56,9 @@ enum class Opcode : std::uint8_t
 /** Number of real (non-pseudo) opcodes; pseudo ops sort after these. */
 inline constexpr int kNumRealOpcodes = static_cast<int>(Opcode::kExitIf) + 1;
 
+/** Total number of opcodes including the pseudo-operations. */
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kStop) + 1;
+
 /** Mnemonic for an opcode (e.g. "load", "addradd"). */
 std::string opcodeName(Opcode opcode);
 

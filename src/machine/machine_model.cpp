@@ -12,19 +12,19 @@ MachineModel::MachineModel(std::string name,
                            std::map<ir::Opcode, OpcodeInfo> opcodes)
     : name_(std::move(name)),
       resourceNames_(std::move(resource_names)),
-      opcodes_(std::move(opcodes))
+      infoByOpcode_(ir::kNumOpcodes)
 {
     // Pseudo-operations are implicitly supported with zero latency and a
     // single empty alternative so schedulers can treat them uniformly.
     for (ir::Opcode pseudo : {ir::Opcode::kStart, ir::Opcode::kStop}) {
-        if (opcodes_.count(pseudo) == 0) {
+        if (opcodes.count(pseudo) == 0) {
             OpcodeInfo info;
             info.latency = 0;
             info.alternatives = {Alternative{"pseudo", ReservationTable{}}};
-            opcodes_.emplace(pseudo, std::move(info));
+            opcodes.emplace(pseudo, std::move(info));
         }
     }
-    for (const auto& [opcode, info] : opcodes_) {
+    for (auto& [opcode, info] : opcodes) {
         support::check(!info.alternatives.empty(),
                        "opcode " + ir::opcodeName(opcode) +
                            " has no alternatives");
@@ -37,7 +37,16 @@ MachineModel::MachineModel(std::string name,
                                    " uses undeclared resource");
             }
         }
+        infoByOpcode_[static_cast<std::size_t>(opcode)] = std::move(info);
     }
+}
+
+void
+MachineModel::throwUnsupported(ir::Opcode opcode) const
+{
+    throw support::Error("machine '" + name_ +
+                         "' does not implement opcode " +
+                         ir::opcodeName(opcode));
 }
 
 const std::string&
@@ -45,22 +54,6 @@ MachineModel::resourceName(ResourceId id) const
 {
     assert(id >= 0 && id < numResources());
     return resourceNames_[id];
-}
-
-bool
-MachineModel::supports(ir::Opcode opcode) const
-{
-    return opcodes_.count(opcode) != 0;
-}
-
-const OpcodeInfo&
-MachineModel::info(ir::Opcode opcode) const
-{
-    auto it = opcodes_.find(opcode);
-    support::check(it != opcodes_.end(),
-                   "machine '" + name_ + "' does not implement opcode " +
-                       ir::opcodeName(opcode));
-    return it->second;
 }
 
 int
@@ -83,8 +76,10 @@ MachineModel::toString() const
     for (const auto& r : resourceNames_)
         out << " " << r;
     out << "\n";
-    for (const auto& [opcode, info] : opcodes_) {
-        if (ir::isPseudo(opcode))
+    for (std::size_t index = 0; index < infoByOpcode_.size(); ++index) {
+        const auto opcode = static_cast<ir::Opcode>(index);
+        const OpcodeInfo& info = infoByOpcode_[index];
+        if (info.alternatives.empty() || ir::isPseudo(opcode))
             continue;
         out << "  " << ir::opcodeName(opcode) << " (latency "
             << info.latency << ")";

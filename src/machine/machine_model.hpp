@@ -37,6 +37,12 @@ struct OpcodeInfo
 /**
  * A machine description: the resource set and, per opcode, the latency and
  * execution alternatives. Immutable once built (see MachineBuilder).
+ *
+ * Opcode lookups sit on the scheduler's innermost loops (ResMII packing
+ * probes every alternative of every operation; FindTimeSlot consults the
+ * reservation tables per probe), so the info is stored densely indexed by
+ * opcode and the unsupported-opcode diagnostic is only materialised on the
+ * cold throw path.
  */
 class MachineModel
 {
@@ -55,10 +61,24 @@ class MachineModel
     const std::string& resourceName(ResourceId id) const;
 
     /** True if the machine implements `opcode`. */
-    bool supports(ir::Opcode opcode) const;
+    bool
+    supports(ir::Opcode opcode) const
+    {
+        const auto index = static_cast<std::size_t>(opcode);
+        return index < infoByOpcode_.size() &&
+               !infoByOpcode_[index].alternatives.empty();
+    }
 
     /** Info for `opcode`; throws support::Error if unsupported. */
-    const OpcodeInfo& info(ir::Opcode opcode) const;
+    const OpcodeInfo&
+    info(ir::Opcode opcode) const
+    {
+        const auto index = static_cast<std::size_t>(opcode);
+        if (index >= infoByOpcode_.size() ||
+            infoByOpcode_[index].alternatives.empty())
+            throwUnsupported(opcode);
+        return infoByOpcode_[index];
+    }
 
     /** Latency shortcut. Pseudo-ops (START/STOP) have latency 0. */
     int latency(ir::Opcode opcode) const;
@@ -70,9 +90,13 @@ class MachineModel
     std::string toString() const;
 
   private:
+    [[noreturn]] void throwUnsupported(ir::Opcode opcode) const;
+
     std::string name_;
     std::vector<std::string> resourceNames_;
-    std::map<ir::Opcode, OpcodeInfo> opcodes_;
+    /** Dense per-opcode table; an entry with no alternatives means the
+     *  opcode is unsupported (every supported opcode has at least one). */
+    std::vector<OpcodeInfo> infoByOpcode_;
 };
 
 } // namespace ims::machine

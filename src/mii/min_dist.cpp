@@ -17,7 +17,21 @@ MinDistMatrix::MinDistMatrix(const graph::DepGraph& graph,
         assert(indexOf_[vertices_[i]] == -1 && "duplicate vertex in subset");
         indexOf_[vertices_[i]] = static_cast<int>(i);
     }
-    compute(graph, counters);
+
+    // Cache the subset-internal edges once; recompute() never needs the
+    // graph again.
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+        for (graph::EdgeId eid : graph.outEdges(vertices_[i])) {
+            const graph::DepEdge& edge = graph.edge(eid);
+            const int j = indexOf_[edge.to];
+            if (j < 0)
+                continue;
+            edgeInits_.push_back({static_cast<int>(i), j, edge.delay,
+                                  edge.distance});
+        }
+    }
+
+    recompute(ii, counters);
 }
 
 MinDistMatrix::MinDistMatrix(const graph::DepGraph& graph, int ii,
@@ -34,40 +48,37 @@ MinDistMatrix::MinDistMatrix(const graph::DepGraph& graph, int ii,
 }
 
 void
-MinDistMatrix::compute(const graph::DepGraph& graph,
-                       support::Counters* counters)
+MinDistMatrix::recompute(int ii, support::Counters* counters)
 {
+    assert(ii >= 1);
+    ii_ = ii;
     support::bump(counters, &support::Counters::minDistInvocations);
     const std::size_t n = vertices_.size();
-    matrix_.assign(n * n, kMinusInf);
+    matrix_.assign(n * n, kMinusInf); // capacity reused across candidates
 
-    // Initialise from edges internal to the subset.
-    for (std::size_t i = 0; i < n; ++i) {
-        for (graph::EdgeId eid : graph.outEdges(vertices_[i])) {
-            const graph::DepEdge& edge = graph.edge(eid);
-            const int j = indexOf_[edge.to];
-            if (j < 0)
-                continue;
-            const std::int64_t bound =
-                static_cast<std::int64_t>(edge.delay) -
-                static_cast<std::int64_t>(ii_) * edge.distance;
-            auto& cell = matrix_[i * n + j];
-            cell = std::max(cell, bound);
-        }
+    // Initialise from the cached subset-internal edges.
+    for (const EdgeInit& edge : edgeInits_) {
+        const std::int64_t bound =
+            static_cast<std::int64_t>(edge.delay) -
+            static_cast<std::int64_t>(ii_) * edge.distance;
+        auto& cell = matrix_[static_cast<std::size_t>(edge.i) * n + edge.j];
+        cell = std::max(cell, bound);
     }
 
-    // All-pairs longest path closure.
+    // All-pairs longest path closure. The inner-step counter counts only
+    // productive (i, k, j) combinations — both path halves finite — per
+    // Table 4's "inner loop executions" (see docs/api.md).
     for (std::size_t k = 0; k < n; ++k) {
         for (std::size_t i = 0; i < n; ++i) {
             const std::int64_t ik = matrix_[i * n + k];
             if (ik == kMinusInf)
                 continue;
             for (std::size_t j = 0; j < n; ++j) {
-                support::bump(counters,
-                              &support::Counters::minDistInnerSteps);
                 const std::int64_t kj = matrix_[k * n + j];
                 if (kj == kMinusInf)
                     continue;
+                support::bump(counters,
+                              &support::Counters::minDistInnerSteps);
                 auto& cell = matrix_[i * n + j];
                 cell = std::max(cell, ik + kj);
             }

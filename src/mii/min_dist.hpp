@@ -21,6 +21,13 @@ namespace ims::mii {
  * then closure with the O(N^3) all-pairs longest-path (Floyd-Warshall)
  * step. A positive diagonal entry means an operation would have to be
  * scheduled after itself: the candidate II is infeasible.
+ *
+ * The matrix is *reusable across candidate IIs*: construction caches the
+ * vertex-subset index and the per-edge (i, j, delay, distance) tuples, and
+ * `recompute(ii)` re-runs initialisation + closure in the existing buffer
+ * without touching the graph or allocating. The RecMII doubling/binary
+ * search and the per-II slack-priority computation call `recompute` once
+ * per candidate instead of building a fresh matrix each time.
  */
 class MinDistMatrix
 {
@@ -40,6 +47,13 @@ class MinDistMatrix
     /** Compute over the whole graph including START/STOP. */
     MinDistMatrix(const graph::DepGraph& graph, int ii,
                   support::Counters* counters = nullptr);
+
+    /**
+     * Recompute the matrix for a new candidate II, reusing the buffer and
+     * the cached edge initialisation (each call counts as one
+     * `minDistInvocations`, exactly like constructing afresh would).
+     */
+    void recompute(int ii, support::Counters* counters = nullptr);
 
     int size() const { return static_cast<int>(vertices_.size()); }
     int ii() const { return ii_; }
@@ -64,12 +78,20 @@ class MinDistMatrix
     const std::vector<graph::VertexId>& vertices() const { return vertices_; }
 
   private:
-    void compute(const graph::DepGraph& graph, support::Counters* counters);
+    /** One subset-internal edge, pre-resolved to matrix indices. */
+    struct EdgeInit
+    {
+        int i;
+        int j;
+        int delay;
+        int distance;
+    };
 
     std::vector<graph::VertexId> vertices_;
     std::vector<int> indexOf_; // graph vertex -> subset index or -1
     int ii_;
     std::vector<std::int64_t> matrix_;
+    std::vector<EdgeInit> edgeInits_; // cached across recomputes
 };
 
 } // namespace ims::mii

@@ -43,8 +43,14 @@ searchFeasibleIi(const graph::DepGraph& graph,
                  const std::vector<graph::VertexId>& vertices, int start,
                  support::Counters* counters)
 {
+    // One matrix serves the whole doubling + binary search: every new
+    // candidate II recomputes into the same buffer instead of rebuilding
+    // the subset index and reallocating O(N^2) storage per probe.
+    MinDistMatrix dist(graph, vertices, start, counters);
     auto feasible = [&](int ii) {
-        return MinDistMatrix(graph, vertices, ii, counters).feasible();
+        if (dist.ii() != ii)
+            dist.recompute(ii, counters);
+        return dist.feasible();
     };
 
     const int cap = static_cast<int>(

@@ -17,7 +17,18 @@ std::vector<std::int64_t>
 computeHeightR(const graph::DepGraph& graph, const graph::SccResult& sccs,
                int ii, support::Counters* counters)
 {
-    std::vector<std::int64_t> height(graph.numVertices(), kMinusInf);
+    std::vector<std::int64_t> height;
+    computeHeightRInto(graph, sccs, ii, counters, height);
+    return height;
+}
+
+void
+computeHeightRInto(const graph::DepGraph& graph,
+                   const graph::SccResult& sccs, int ii,
+                   support::Counters* counters,
+                   std::vector<std::int64_t>& height)
+{
+    height.assign(graph.numVertices(), kMinusInf);
     height[graph.stop()] = 0;
 
     // Tarjan emits components in reverse topological order (all successors
@@ -70,8 +81,6 @@ computeHeightR(const graph::DepGraph& graph, const graph::SccResult& sccs,
                            "cycle (II below RecMII?)");
         }
     }
-
-    return height;
 }
 
 std::vector<std::int64_t>

@@ -34,6 +34,16 @@ std::vector<std::int64_t> computeHeightR(const graph::DepGraph& graph,
                                              nullptr);
 
 /**
+ * Buffer-reusing variant: writes the heights into `height` (resized and
+ * reinitialised as needed), so callers retrying successive candidate IIs
+ * do not reallocate per attempt.
+ */
+void computeHeightRInto(const graph::DepGraph& graph,
+                        const graph::SccResult& sccs, int ii,
+                        support::Counters* counters,
+                        std::vector<std::int64_t>& height);
+
+/**
  * Acyclic height used by the baseline list scheduler: the same recurrence
  * restricted to intra-iteration (distance 0) edges, which always form a
  * DAG.

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sched/partial_schedule.hpp"
+#include "sched/ready_queue.hpp"
 
 namespace ims::sched {
 
@@ -27,7 +28,7 @@ class Attempt
           ii_(ii),
           counters_(counters),
           schedule_(graph, loop, machine, ii),
-          unscheduled_(graph.numVertices(), true)
+          ready_(priority)
     {
     }
 
@@ -40,14 +41,13 @@ class Attempt
 
         // Schedule START at time 0.
         schedule_.place(graph_.start(), 0, 0);
-        unscheduled_[graph_.start()] = false;
-        numUnscheduled_ = graph_.numVertices() - 1;
+        ready_.erase(graph_.start());
         --budget;
         ++stepsUsed_;
         support::bump(counters_, &support::Counters::scheduleSteps);
 
-        while (numUnscheduled_ > 0 && budget > 0) {
-            const graph::VertexId op = highestPriorityOperation();
+        while (!ready_.empty() && budget > 0) {
+            const graph::VertexId op = ready_.top();
             const int estart = calculateEarlyStart(op);
             const int min_time = estart;
             const int max_time = min_time + ii_ - 1;
@@ -65,6 +65,7 @@ class Attempt
                 event.slot = slot;
                 event.forced = alternative < 0;
                 displacedThisStep_.clear();
+                resourceDisplacedThisStep_.clear();
             }
 
             scheduleAt(op, slot, alternative);
@@ -75,10 +76,11 @@ class Attempt
             if (options_.trace != nullptr) {
                 event.alternative = schedule_.alternativeOf(op);
                 event.displaced = displacedThisStep_;
+                event.resourceDisplaced = resourceDisplacedThisStep_;
                 options_.trace->push_back(std::move(event));
             }
         }
-        return numUnscheduled_ == 0;
+        return ready_.empty();
     }
 
     std::int64_t stepsUsed() const { return stepsUsed_; }
@@ -86,20 +88,6 @@ class Attempt
     const PartialSchedule& schedule() const { return schedule_; }
 
   private:
-    graph::VertexId
-    highestPriorityOperation() const
-    {
-        graph::VertexId best = -1;
-        for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
-            if (!unscheduled_[v])
-                continue;
-            if (best < 0 || priority_[v] > priority_[best])
-                best = v;
-        }
-        assert(best >= 0);
-        return best;
-    }
-
     /** Figure 5(b): only currently scheduled predecessors constrain. */
     int
     calculateEarlyStart(graph::VertexId op) const
@@ -151,25 +139,31 @@ class Attempt
     scheduleAt(graph::VertexId op, int slot, int alternative)
     {
         if (alternative < 0) {
-            // Forced placement: displace every operation that conflicts
-            // with the use of any alternative at this slot, then place
-            // using the first usable alternative.
+            // Forced placement (Figure 4): choose the first alternative
+            // usable at this II and displace only the operations holding
+            // *its* resources — evicting victims of the alternatives not
+            // chosen would inflate the unschedule count for nothing.
             const auto& alternatives = schedule_.alternativesOf(op);
-            for (const auto& alt : alternatives) {
-                if (ModuloReservationTable::selfConflicts(alt.table, ii_))
+            for (std::size_t alt = 0; alt < alternatives.size(); ++alt) {
+                if (ModuloReservationTable::selfConflicts(
+                        alternatives[alt].table, ii_))
                     continue;
-                for (int victim :
-                     schedule_.mrt().conflictingOps(alt.table, slot)) {
-                    displace(victim);
-                }
+                alternative = static_cast<int>(alt);
+                break;
             }
-            alternative = schedule_.fittingAlternative(op, slot);
             assert(alternative >= 0 &&
-                   "displacement must free some alternative");
+                   "allVerticesPlaceable guarantees a usable alternative");
+            schedule_.mrt().conflictingOps(
+                alternatives[alternative].table, slot, conflictScratch_);
+            if (options_.trace != nullptr)
+                resourceDisplacedThisStep_ = conflictScratch_;
+            for (int victim : conflictScratch_)
+                displace(victim);
+            assert(schedule_.fittingAlternative(op, slot) == alternative &&
+                   "displacing the chosen alternative's victims frees it");
         }
         schedule_.place(op, slot, alternative);
-        unscheduled_[op] = false;
-        --numUnscheduled_;
+        ready_.erase(op);
 
         // Displace successors whose dependence constraints are violated.
         // (Predecessor constraints hold by construction: slot >= Estart.)
@@ -192,8 +186,7 @@ class Attempt
         if (!schedule_.isScheduled(victim))
             return;
         schedule_.remove(victim);
-        unscheduled_[victim] = true;
-        ++numUnscheduled_;
+        ready_.push(victim);
         ++unschedules_;
         if (options_.trace != nullptr)
             displacedThisStep_.push_back(victim);
@@ -206,9 +199,11 @@ class Attempt
     int ii_;
     support::Counters* counters_;
     PartialSchedule schedule_;
-    std::vector<bool> unscheduled_;
+    ReadyQueue ready_;
+    /** Scratch for forced-placement conflict queries (no per-call alloc). */
+    std::vector<int> conflictScratch_;
     std::vector<graph::VertexId> displacedThisStep_;
-    int numUnscheduled_ = 0;
+    std::vector<graph::VertexId> resourceDisplacedThisStep_;
     std::int64_t stepsUsed_ = 0;
     std::int64_t unschedules_ = 0;
 };
@@ -238,12 +233,12 @@ IterativeScheduler::trySchedule(int ii, std::int64_t budget)
                               support::Phase::kIiAttempt, ii);
     timer.setSucceeded(false);
 
-    const auto priority =
-        computePriorities(graph_, sccs_, ii, options_.priority,
-                          options_.randomSeed, counters_);
+    computePrioritiesInto(graph_, sccs_, ii, options_.priority,
+                          options_.randomSeed, counters_,
+                          priorityWorkspace_);
 
-    Attempt attempt(loop_, machine_, graph_, priority, options_, ii,
-                    counters_);
+    Attempt attempt(loop_, machine_, graph_, priorityWorkspace_.priorities,
+                    options_, ii, counters_);
     const bool success = attempt.run(budget);
     if (!success)
         return std::nullopt;

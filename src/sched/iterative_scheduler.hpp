@@ -37,6 +37,12 @@ struct TraceEvent
     bool forced = false;
     /** Operations displaced by this placement (resource or dependence). */
     std::vector<graph::VertexId> displaced;
+    /**
+     * The subset of `displaced` evicted to free the *chosen* alternative's
+     * resources (forced placements only; §3.4/Figure 4). The remainder of
+     * `displaced` are successors displaced for dependence violations.
+     */
+    std::vector<graph::VertexId> resourceDisplaced;
 };
 
 /** Options for one iterative-scheduling attempt. */
@@ -108,6 +114,9 @@ class IterativeScheduler
     const graph::SccResult& sccs_;
     IterativeScheduleOptions options_;
     support::Counters* counters_;
+    /** Priority/HeightR buffers reused across candidate IIs, so a failed
+     *  attempt does not reallocate (see PriorityWorkspace). */
+    PriorityWorkspace priorityWorkspace_;
 };
 
 } // namespace ims::sched

@@ -32,15 +32,23 @@ ModuloReservationTable::conflictingOps(const machine::ReservationTable& table,
                                        int time) const
 {
     std::vector<int> ops;
+    conflictingOps(table, time, ops);
+    return ops;
+}
+
+void
+ModuloReservationTable::conflictingOps(const machine::ReservationTable& table,
+                                       int time, std::vector<int>& out) const
+{
+    out.clear();
     for (const auto& use : table.uses()) {
         const int row = rowOf(time + use.time);
         const int holder = owner(row, use.resource);
         if (holder != kFree)
-            ops.push_back(holder);
+            out.push_back(holder);
     }
-    std::sort(ops.begin(), ops.end());
-    ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
-    return ops;
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 void

@@ -41,6 +41,14 @@ class ModuloReservationTable
                                     int time) const;
 
     /**
+     * Allocation-free variant for the scheduler's hot path: fills `out`
+     * (cleared first, then sorted ascending and deduplicated) with the
+     * conflicting owners, reusing the caller's buffer capacity.
+     */
+    void conflictingOps(const machine::ReservationTable& table, int time,
+                        std::vector<int>& out) const;
+
+    /**
      * Record that `op` issued at `time` occupies `table`'s cells. All
      * cells must currently be free (checked).
      */

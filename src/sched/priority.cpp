@@ -30,41 +30,61 @@ computePriorities(const graph::DepGraph& graph, const graph::SccResult& sccs,
                   int ii, PriorityScheme scheme, std::uint64_t seed,
                   support::Counters* counters)
 {
+    PriorityWorkspace workspace;
+    computePrioritiesInto(graph, sccs, ii, scheme, seed, counters,
+                          workspace);
+    return std::move(workspace.priorities);
+}
+
+void
+computePrioritiesInto(const graph::DepGraph& graph,
+                      const graph::SccResult& sccs, int ii,
+                      PriorityScheme scheme, std::uint64_t seed,
+                      support::Counters* counters,
+                      PriorityWorkspace& workspace)
+{
     const int n = graph.numVertices();
+    auto& priorities = workspace.priorities;
     switch (scheme) {
       case PriorityScheme::kHeightR:
-        return computeHeightR(graph, sccs, ii, counters);
+        computeHeightRInto(graph, sccs, ii, counters, priorities);
+        return;
 
       case PriorityScheme::kSlack: {
         // slack(v) = LatestStart(v) - EarliestStart(v) where
         // EarliestStart(v) = MinDist[START, v] and
         // LatestStart(v) = MinDist[START, STOP] - MinDist[v, STOP].
-        const mii::MinDistMatrix dist(graph, ii, counters);
+        if (!workspace.slackDist)
+            workspace.slackDist.emplace(graph, ii, counters);
+        else if (workspace.slackDist->ii() != ii)
+            workspace.slackDist->recompute(ii, counters);
+        const mii::MinDistMatrix& dist = *workspace.slackDist;
         const std::int64_t makespan =
             dist.atVertex(graph.start(), graph.stop());
-        std::vector<std::int64_t> priorities(n, 0);
+        priorities.assign(n, 0);
         for (graph::VertexId v = 0; v < n; ++v) {
             const std::int64_t early = dist.atVertex(graph.start(), v);
             const std::int64_t to_stop = dist.atVertex(v, graph.stop());
             const std::int64_t late = makespan - to_stop;
             priorities[v] = -(late - early); // least slack = highest
         }
-        return priorities;
+        return;
       }
 
       case PriorityScheme::kSourceOrder: {
-        std::vector<std::int64_t> priorities(n, 0);
+        priorities.assign(n, 0);
         for (graph::VertexId v = 0; v < n; ++v)
             priorities[v] = -v;
         // START must still come first; STOP last.
         priorities[graph.start()] = INT64_MAX / 2;
         priorities[graph.stop()] = INT64_MIN / 2;
-        return priorities;
+        return;
       }
 
       case PriorityScheme::kRandom: {
-        std::vector<std::int64_t> priorities(n, 0);
-        std::vector<int> permutation(n);
+        priorities.assign(n, 0);
+        auto& permutation = workspace.permutation;
+        permutation.resize(n);
         std::iota(permutation.begin(), permutation.end(), 0);
         support::Rng rng(seed);
         for (int i = n - 1; i > 0; --i)
@@ -73,10 +93,10 @@ computePriorities(const graph::DepGraph& graph, const graph::SccResult& sccs,
             priorities[v] = permutation[v];
         priorities[graph.start()] = INT64_MAX / 2;
         priorities[graph.stop()] = INT64_MIN / 2;
-        return priorities;
+        return;
       }
     }
-    return std::vector<std::int64_t>(n, 0);
+    priorities.assign(n, 0);
 }
 
 } // namespace ims::sched

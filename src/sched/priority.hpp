@@ -2,11 +2,13 @@
 #define IMS_SCHED_PRIORITY_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/dep_graph.hpp"
 #include "graph/scc.hpp"
+#include "mii/min_dist.hpp"
 #include "support/counters.hpp"
 
 namespace ims::sched {
@@ -32,6 +34,23 @@ enum class PriorityScheme
 std::string prioritySchemeName(PriorityScheme scheme);
 
 /**
+ * Reusable buffers for per-II priority computation. One workspace lives
+ * for the duration of a ModuloSchedule invocation (all candidate IIs of
+ * one loop): a failed II attempt re-fills `priorities` in place, the
+ * slack scheme's full-graph MinDist matrix is recomputed rather than
+ * rebuilt, and the random scheme's permutation buffer is recycled. The
+ * workspace must not be shared between loops of different graphs.
+ */
+struct PriorityWorkspace
+{
+    std::vector<std::int64_t> priorities;
+    /** Lazily built full-graph MinDist for PriorityScheme::kSlack. */
+    std::optional<mii::MinDistMatrix> slackDist;
+    /** Scratch permutation for PriorityScheme::kRandom. */
+    std::vector<int> permutation;
+};
+
+/**
  * Compute per-vertex priorities (larger = scheduled earlier) for the given
  * candidate II. Ties are broken by vertex id in the scheduler.
  */
@@ -39,6 +58,16 @@ std::vector<std::int64_t>
 computePriorities(const graph::DepGraph& graph, const graph::SccResult& sccs,
                   int ii, PriorityScheme scheme, std::uint64_t seed = 1,
                   support::Counters* counters = nullptr);
+
+/**
+ * Buffer-reusing variant: fills `workspace.priorities` for the candidate
+ * II without reallocating anything the workspace already holds.
+ */
+void computePrioritiesInto(const graph::DepGraph& graph,
+                           const graph::SccResult& sccs, int ii,
+                           PriorityScheme scheme, std::uint64_t seed,
+                           support::Counters* counters,
+                           PriorityWorkspace& workspace);
 
 } // namespace ims::sched
 

@@ -1,0 +1,80 @@
+#include "sched/ready_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <numeric>
+
+namespace ims::sched {
+
+ReadyQueue::ReadyQueue(const std::vector<std::int64_t>& priority)
+{
+    const int n = static_cast<int>(priority.size());
+    vertexAt_.resize(n);
+    std::iota(vertexAt_.begin(), vertexAt_.end(), 0);
+    std::sort(vertexAt_.begin(), vertexAt_.end(),
+              [&priority](graph::VertexId a, graph::VertexId b) {
+                  if (priority[a] != priority[b])
+                      return priority[a] > priority[b];
+                  return a < b;
+              });
+    rankOf_.resize(n);
+    for (int rank = 0; rank < n; ++rank)
+        rankOf_[vertexAt_[rank]] = rank;
+
+    const int words = (n + 63) / 64;
+    bits_.assign(words, ~0ULL);
+    if (n % 64 != 0)
+        bits_.back() = (1ULL << (n % 64)) - 1;
+    summary_.assign((words + 63) / 64, 0);
+    for (int w = 0; w < words; ++w) {
+        if (bits_[w] != 0)
+            summary_[w >> 6] |= 1ULL << (w & 63);
+    }
+    size_ = n;
+}
+
+void
+ReadyQueue::push(graph::VertexId v)
+{
+    const int rank = rankOf_[v];
+    const int word = rank >> 6;
+    const std::uint64_t bit = 1ULL << (rank & 63);
+    if (bits_[word] & bit)
+        return;
+    bits_[word] |= bit;
+    summary_[word >> 6] |= 1ULL << (word & 63);
+    ++size_;
+}
+
+void
+ReadyQueue::erase(graph::VertexId v)
+{
+    const int rank = rankOf_[v];
+    const int word = rank >> 6;
+    const std::uint64_t bit = 1ULL << (rank & 63);
+    if (!(bits_[word] & bit))
+        return;
+    bits_[word] &= ~bit;
+    if (bits_[word] == 0)
+        summary_[word >> 6] &= ~(1ULL << (word & 63));
+    --size_;
+}
+
+graph::VertexId
+ReadyQueue::top() const
+{
+    assert(size_ > 0 && "top() on an empty ready queue");
+    for (std::size_t s = 0; s < summary_.size(); ++s) {
+        if (summary_[s] == 0)
+            continue;
+        const int word = static_cast<int>(s) * 64 +
+                         std::countr_zero(summary_[s]);
+        const int rank = word * 64 + std::countr_zero(bits_[word]);
+        return vertexAt_[rank];
+    }
+    assert(false && "summary bitmap inconsistent with size");
+    return -1;
+}
+
+} // namespace ims::sched

@@ -1,0 +1,66 @@
+#ifndef IMS_SCHED_READY_QUEUE_HPP
+#define IMS_SCHED_READY_QUEUE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+
+namespace ims::sched {
+
+/**
+ * Priority-ordered ready set for HighestPriorityOperation (Figure 3).
+ *
+ * The paper's selection rule — highest priority first, lowest vertex id
+ * on ties — is a *static* total order for one IterativeSchedule attempt:
+ * priorities are fixed per candidate II. So the queue ranks every vertex
+ * once up front (O(V log V)) and afterwards represents the ready set as a
+ * two-level bitmap over ranks: rank 0 is the globally best vertex, and
+ * `top()` is find-first-set — one summary-word scan plus two bit scans,
+ * O(V/4096) worst case and effectively O(1) for every real loop —
+ * replacing the seed's O(V) linear scan per scheduling step. `push` /
+ * `erase` are O(1) bit flips, so displacement (unscheduling) re-enters a
+ * vertex at its correct position for free.
+ *
+ * The bitmap tie-breaks identically to the seed's linear scan (the rank
+ * order sorts by priority descending, then vertex id ascending), which the
+ * determinism tests pin down.
+ */
+class ReadyQueue
+{
+  public:
+    /** Rank all vertices by (priority descending, id ascending); the
+     *  queue starts full (every vertex ready). */
+    explicit ReadyQueue(const std::vector<std::int64_t>& priority);
+
+    bool empty() const { return size_ == 0; }
+    int size() const { return size_; }
+
+    bool
+    contains(graph::VertexId v) const
+    {
+        const int rank = rankOf_[v];
+        return (bits_[rank >> 6] >> (rank & 63)) & 1U;
+    }
+
+    /** Mark `v` ready. No-op if it already is. */
+    void push(graph::VertexId v);
+
+    /** Remove `v` from the ready set. No-op if it is not ready. */
+    void erase(graph::VertexId v);
+
+    /** Highest-priority ready vertex (lowest id on ties); empty() must be
+     *  false. */
+    graph::VertexId top() const;
+
+  private:
+    std::vector<int> rankOf_;              ///< vertex -> rank
+    std::vector<graph::VertexId> vertexAt_; ///< rank -> vertex
+    std::vector<std::uint64_t> bits_;      ///< ready bit per rank
+    std::vector<std::uint64_t> summary_;   ///< bit per non-empty bits_ word
+    int size_ = 0;
+};
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_READY_QUEUE_HPP

@@ -72,6 +72,54 @@ TEST(BatchPipelinerTest, DeterministicAcrossThreadCounts)
     }
 }
 
+TEST(BatchPipelinerTest, SameLoopOneHundredTimesIsByteIdentical)
+{
+    // Pool scheduling must never leak into the scheduler: 100 copies of
+    // one recurrence-bearing loop, run at several pool sizes, must all
+    // yield the same ScheduleResult in every field (including the step
+    // and unschedule counters, which would expose any hidden
+    // order-dependent state such as a reused priority workspace).
+    const auto loop = workloads::kernelByName("tridiag").loop;
+    const std::vector<ir::Loop> loops(100, loop);
+    const auto machine = machine::cydra5();
+
+    std::vector<sched::ScheduleResult> reference;
+    for (const int threads : {1, 4, 8}) {
+        const auto result =
+            core::BatchPipeliner(machine,
+                                 core::BatchOptions{}.withThreads(threads))
+                .run(loops);
+        ASSERT_EQ(result.items.size(), loops.size());
+        std::vector<sched::ScheduleResult> schedules;
+        for (const auto& item : result.items) {
+            ASSERT_TRUE(item.result.ok()) << "@" << threads;
+            schedules.push_back(item.result.artifacts->outcome.schedule);
+        }
+        if (reference.empty()) {
+            reference = std::move(schedules);
+            continue;
+        }
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            const auto& a = reference[i];
+            const auto& b = schedules[i];
+            EXPECT_EQ(a.ii, b.ii) << i << " @" << threads;
+            EXPECT_EQ(a.times, b.times) << i << " @" << threads;
+            EXPECT_EQ(a.alternatives, b.alternatives)
+                << i << " @" << threads;
+            EXPECT_EQ(a.scheduleLength, b.scheduleLength)
+                << i << " @" << threads;
+            EXPECT_EQ(a.stepsUsed, b.stepsUsed) << i << " @" << threads;
+            EXPECT_EQ(a.unschedules, b.unschedules)
+                << i << " @" << threads;
+        }
+    }
+    // Copies within one run are identical too.
+    for (std::size_t i = 1; i < reference.size(); ++i) {
+        EXPECT_EQ(reference[i].times, reference[0].times) << i;
+        EXPECT_EQ(reference[i].unschedules, reference[0].unschedules) << i;
+    }
+}
+
 TEST(BatchPipelinerTest, OneBadLoopDoesNotSinkTheBatch)
 {
     const auto library = workloads::kernelLibrary();

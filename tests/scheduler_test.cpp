@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+
 #include "graph/graph_builder.hpp"
 #include "graph/scc.hpp"
 #include "machine/cydra5.hpp"
@@ -200,6 +203,31 @@ TEST(ModuloSchedulerTest, ForwardProgressAblationTerminatesViaBudget)
     EXPECT_TRUE(sched::verifySchedule(w.loop, machine, graph,
                                       outcome.schedule)
                     .empty());
+}
+
+TEST(ModuloSchedulerTest, UnscheduleCountsNoWorseThanSeed)
+{
+    // Regression guard for the forced-placement displacement rule: the
+    // scheduler evicts only the operations holding the *chosen*
+    // alternative's resources, so with default production options no
+    // kernel may displace more than the pre-fix seed did (captured in
+    // bench/data/sched_identity_seed.json; every kernel not listed here
+    // was displacement-free).
+    const std::map<std::string, std::int64_t> seed_unschedules = {
+        {"first_order_rec", 1}, {"argmax_like", 1},      {"horner_rec", 1},
+        {"second_order_rec", 2}, {"lfk20_ordinates", 3},
+    };
+    const auto machine = machine::cydra5();
+    for (const auto& w : workloads::kernelLibrary()) {
+        const auto graph = graph::buildDepGraph(w.loop, machine);
+        const auto sccs = graph::findSccs(graph);
+        const auto outcome =
+            sched::moduloSchedule(w.loop, machine, graph, sccs);
+        const auto it = seed_unschedules.find(w.loop.name());
+        const std::int64_t allowed =
+            it == seed_unschedules.end() ? 0 : it->second;
+        EXPECT_LE(outcome.totalUnschedules, allowed) << w.loop.name();
+    }
 }
 
 TEST(TraceTest, TraceRecordsEveryStepInOrder)
