@@ -29,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "graph/scc.hpp"
 #include "machine/cydra5.hpp"
 #include "sched/modulo_scheduler.hpp"
+#include "sched/mrt.hpp"
 #include "support/table.hpp"
 #include "transform/unroll.hpp"
 #include "workloads/kernels.hpp"
@@ -303,6 +305,100 @@ struct BatchSample
     double loopsPerSecond = 0.0;
 };
 
+/** One MRT probe-kernel sample. */
+struct MrtSample
+{
+    std::string name;
+    long long operations = 0;
+    /** Candidate issue times answered per call (II for a slot scan). */
+    int coverage = 1;
+    double wallSeconds = 0.0;
+    double perSecond = 0.0;
+};
+
+/**
+ * Microbenchmark of the three MRT conflict kernels against one
+ * realistically loaded table: the owner-cell use-list walk (the old hot
+ * path, kept as the displacement oracle), the compiled-mask single-time
+ * probe, and the word-parallel whole-window slot scan. One slot scan
+ * answers the same question as II single-time probes.
+ */
+std::vector<MrtSample>
+measureMrtKernels(const machine::MachineModel& machine, bool quick)
+{
+    const int num_resources = machine.numResources();
+    const int ii = 16;
+    constexpr int kNumOps = 64;
+    sched::ModuloReservationTable mrt(ii, num_resources, kNumOps);
+
+    // Deterministically fill roughly half the table with random ops so
+    // probes see a realistic mix of hits and misses.
+    std::mt19937 rng(12345);
+    std::uniform_int_distribution<int> num_uses(2, 5);
+    std::uniform_int_distribution<int> use_time(0, 2 * ii);
+    std::uniform_int_distribution<int> resource(0, num_resources - 1);
+    const auto random_table = [&] {
+        machine::ReservationTable table;
+        const int n = num_uses(rng);
+        for (int i = 0; i < n; ++i)
+            table.addUse(use_time(rng), resource(rng));
+        return table;
+    };
+    for (int op = 0; op < kNumOps; ++op) {
+        const auto table = random_table();
+        if (sched::ModuloReservationTable::selfConflicts(table, ii))
+            continue;
+        for (int t = 0; t < ii; ++t) {
+            if (!mrt.conflicts(table, t)) {
+                mrt.reserve(op, table, t);
+                break;
+            }
+        }
+    }
+
+    constexpr int kNumProbes = 16;
+    std::vector<machine::ReservationTable> probes;
+    std::vector<machine::CompiledReservationTable> compiled;
+    for (int i = 0; i < kNumProbes; ++i) {
+        auto table = random_table();
+        while (sched::ModuloReservationTable::selfConflicts(table, ii))
+            table = random_table();
+        compiled.emplace_back(table, ii, num_resources);
+        probes.push_back(std::move(table));
+    }
+
+    const long long iterations = quick ? 100'000 : 4'000'000;
+    std::vector<MrtSample> samples;
+    long long sink = 0;
+    const auto run = [&](const char* name, int coverage, auto&& body) {
+        const auto start = Clock::now();
+        for (long long i = 0; i < iterations; ++i)
+            sink += body(static_cast<int>(i % kNumProbes),
+                         static_cast<int>(i % (2 * ii)));
+        MrtSample sample;
+        sample.name = name;
+        sample.operations = iterations;
+        sample.coverage = coverage;
+        sample.wallSeconds = secondsSince(start);
+        sample.perSecond = static_cast<double>(iterations) /
+                           std::max(sample.wallSeconds, 1e-12);
+        samples.push_back(std::move(sample));
+    };
+    run("cell_probe", 1, [&](int p, int t) {
+        return mrt.conflicts(probes[p], t) ? 1 : 0;
+    });
+    run("mask_probe", 1, [&](int p, int t) {
+        return mrt.conflicts(compiled[p], t) ? 1 : 0;
+    });
+    // One scan answers "first free of the II candidates", i.e. the work
+    // FindTimeSlot previously spread over up to II single-time probes.
+    run("slot_scan", ii,
+        [&](int p, int t) { return mrt.firstFreeSlot(compiled[p], t); });
+    if (sink == 42)
+        std::cout << "";
+    return samples;
+}
+
 } // namespace
 
 int
@@ -440,6 +536,24 @@ main(int argc, char** argv)
         batch_samples.push_back(std::move(sample));
     }
     batch_table.print(std::cout);
+    std::cout << "\n";
+
+    // --- MRT probe kernels ---------------------------------------------
+    const auto mrt_samples = measureMrtKernels(machine, quick);
+    support::TextTable mrt_table("MRT probe kernels (ii=16, half full)");
+    mrt_table.addHeader({"kernel", "calls", "wall s", "calls/s",
+                         "candidates/s", "vs cell_probe"});
+    const double cell_rate = mrt_samples.front().perSecond;
+    for (const auto& s : mrt_samples) {
+        const double candidate_rate = s.perSecond * s.coverage;
+        mrt_table.addRow(
+            {s.name, std::to_string(s.operations),
+             support::formatDouble(s.wallSeconds, 3),
+             support::formatDouble(s.perSecond, 0),
+             support::formatDouble(candidate_rate, 0),
+             support::formatDouble(candidate_rate / cell_rate, 2) + "x"});
+    }
+    mrt_table.print(std::cout);
 
     // --- Emit the JSON report ------------------------------------------
     {
@@ -464,6 +578,15 @@ main(int argc, char** argv)
                 << ", \"wall_seconds\": " << s.wallSeconds
                 << ", \"loops_per_second\": " << s.loopsPerSecond << "}"
                 << (i + 1 < batch_samples.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n  \"mrt\": [\n";
+        for (std::size_t i = 0; i < mrt_samples.size(); ++i) {
+            const auto& s = mrt_samples[i];
+            out << "    {\"name\": \"" << s.name << "\", \"calls\": "
+                << s.operations << ", \"coverage\": " << s.coverage
+                << ", \"wall_seconds\": " << s.wallSeconds
+                << ", \"calls_per_second\": " << s.perSecond << "}"
+                << (i + 1 < mrt_samples.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
     }
@@ -508,6 +631,15 @@ main(int argc, char** argv)
             const auto it = base_batch.find(s.name);
             if (it != base_batch.end())
                 check(s.name, s.loopsPerSecond, it->second);
+        }
+        std::map<std::string, double> base_mrt;
+        for (const auto& object : parseObjectArray(baseline_text, "mrt"))
+            base_mrt[object.at("name")] =
+                std::atof(object.at("calls_per_second").c_str());
+        for (const auto& s : mrt_samples) {
+            const auto it = base_mrt.find(s.name);
+            if (it != base_mrt.end())
+                check("mrt " + s.name, s.perSecond, it->second);
         }
         if (regressions != 0)
             return 1;

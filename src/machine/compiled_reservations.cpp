@@ -1,0 +1,77 @@
+#include "machine/compiled_reservations.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ims::machine {
+
+CompiledReservationTable::CompiledReservationTable(
+    const ReservationTable& table, int ii, int num_resources)
+    : ii_(ii), wordsPerRow_((num_resources + 63) / 64)
+{
+    assert(ii >= 1);
+    const auto& uses = table.uses();
+    if (uses.empty())
+        return;
+
+    // Reduce every use mod II into one packed word each: rotation in the
+    // high half, resource in the low half, so raw word order is
+    // (rotation, resource) order. ReservationTable uses are normalised
+    // by (time, resource), so tables no longer than II arrive sorted —
+    // only a wrapped table pays for a sort.
+    data_.reserve(uses.size() * (2 + wordsPerRow_));
+    bool sorted = true;
+    for (const auto& use : uses) {
+        assert(use.time >= 0 && use.resource >= 0 &&
+               use.resource < num_resources);
+        const std::uint64_t word =
+            (static_cast<std::uint64_t>(use.time % ii) << 32) |
+            static_cast<std::uint32_t>(use.resource);
+        sorted = sorted && (data_.empty() || data_.back() <= word);
+        data_.push_back(word);
+    }
+    if (!sorted)
+        std::sort(data_.begin(), data_.end());
+
+    // A duplicate (rotation, resource) pair is precisely a modulo
+    // self-collision; record the fact and merge it so the masks stay
+    // valid for conflict queries.
+    const auto first_dup = std::unique(data_.begin(), data_.end());
+    selfConflicts_ = first_dup != data_.end();
+    data_.erase(first_dup, data_.end());
+    numUses_ = static_cast<int>(data_.size());
+
+    // Row-major masks over the non-empty rows, appended after the uses
+    // (which are rotation-sorted, so each row's uses are contiguous).
+    for (int i = 0; i < numUses_;) {
+        const int row = use(i).rotation;
+        data_.push_back(static_cast<std::uint64_t>(row));
+        data_.resize(data_.size() + wordsPerRow_, 0);
+        std::uint64_t* words = data_.data() + data_.size() - wordsPerRow_;
+        for (; i < numUses_ && use(i).rotation == row; ++i) {
+            const int r = use(i).resource;
+            words[r >> 6] |= std::uint64_t{1} << (r & 63);
+        }
+        ++numRows_;
+    }
+}
+
+const std::vector<CompiledReservationTable>&
+CompiledTableCache::get(const std::vector<Alternative>& alternatives,
+                        int ii, int num_resources)
+{
+    const void* key = &alternatives;
+    for (const auto& entry : entries_) {
+        if (entry.alternatives == key && entry.ii == ii)
+            return entry.compiled;
+    }
+
+    Entry entry{key, ii, {}};
+    entry.compiled.reserve(alternatives.size());
+    for (const auto& alternative : alternatives)
+        entry.compiled.emplace_back(alternative.table, ii, num_resources);
+    entries_.push_back(std::move(entry));
+    return entries_.back().compiled;
+}
+
+} // namespace ims::machine

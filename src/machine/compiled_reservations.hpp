@@ -1,0 +1,158 @@
+#ifndef IMS_MACHINE_COMPILED_RESERVATIONS_HPP
+#define IMS_MACHINE_COMPILED_RESERVATIONS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "machine/reservation_table.hpp"
+
+namespace ims::machine {
+
+/**
+ * A reservation table lowered to bitmasks for one candidate II.
+ *
+ * The modulo reservation table only ever asks one question of an
+ * alternative's table: "which resources does it touch in which row mod
+ * II?". That is a pure function of (table, II), so it is compiled once
+ * per II attempt instead of being re-derived from the use list on every
+ * conflict probe. Two views of the same reservation are kept:
+ *
+ *  - **Modulo uses** (column-major): the use list with relative times
+ *    reduced mod II and duplicate (time mod II, resource) pairs merged.
+ *    This drives the word-parallel slot scan: for a use at rotation u of
+ *    resource R, the set of issue residues that collide is exactly the
+ *    MRT's per-resource row bitset rotated down by u.
+ *
+ *  - **Row masks** (row-major): for each non-empty row r in [0, II), a
+ *    multi-word `uint64_t` bitmask over resources used at relative times
+ *    congruent to r. A conflict test at issue time T reduces to ANDing
+ *    each row mask against the MRT's occupancy mask of row
+ *    (r + T) mod II. Machines with more than 64 resources simply use
+ *    more words per row.
+ *
+ * Compilation also decides, once, whether the table collides with itself
+ * under the modulo wrap-around (two uses of one resource in congruent
+ * rows). Such an alternative can never be scheduled at this II and is
+ * skipped before any slot probe; its masks (with the duplicate merged)
+ * are still well-formed for conflict queries.
+ *
+ * Everything lives in one flat word buffer — the compile step runs once
+ * per (opcode, II) but for *every* scheduler instance, so small loops
+ * feel its constant factor: uses first (one packed word each), then per
+ * non-empty row a header word (the row index) followed by the mask
+ * words.
+ */
+class CompiledReservationTable
+{
+  public:
+    /** One merged use: `rotation` = relative time mod II. */
+    struct ModuloUse
+    {
+        int rotation = 0;
+        ResourceId resource = 0;
+    };
+
+    CompiledReservationTable() = default;
+    CompiledReservationTable(const ReservationTable& table, int ii,
+                             int num_resources);
+
+    int ii() const { return ii_; }
+
+    /** Words per row mask: ceil(num_resources / 64). */
+    int wordsPerRow() const { return wordsPerRow_; }
+
+    /** True when the source table reserved no resources (pseudo-ops). */
+    bool empty() const { return numUses_ == 0; }
+
+    /** Cached ModuloReservationTable::selfConflicts(table, ii). */
+    bool selfConflicts() const { return selfConflicts_; }
+
+    /** Merged (rotation, resource) uses, sorted, unique. */
+    int numUses() const { return numUses_; }
+
+    ModuloUse
+    use(int i) const
+    {
+        const std::uint64_t word = data_[i];
+        return ModuloUse{static_cast<int>(word >> 32),
+                         static_cast<ResourceId>(word & 0xffffffffu)};
+    }
+
+    /** Number of non-empty rows (<= min(#uses, ii)). */
+    int numRows() const { return numRows_; }
+
+    /** Row number of the k-th non-empty row, ascending. */
+    int
+    rowIndex(int k) const
+    {
+        return static_cast<int>(data_[rowEntry(k)]);
+    }
+
+    /** `wordsPerRow()` mask words of the k-th non-empty row. */
+    const std::uint64_t*
+    rowWords(int k) const
+    {
+        return data_.data() + rowEntry(k) + 1;
+    }
+
+  private:
+    std::size_t
+    rowEntry(int k) const
+    {
+        return static_cast<std::size_t>(numUses_) +
+               static_cast<std::size_t>(k) * (1 + wordsPerRow_);
+    }
+
+    int ii_ = 1;
+    int wordsPerRow_ = 0;
+    int numUses_ = 0;
+    int numRows_ = 0;
+    bool selfConflicts_ = false;
+    std::vector<std::uint64_t> data_;
+};
+
+/**
+ * Cache of compiled alternative lists keyed by (alternative list, II).
+ *
+ * Every vertex with the same opcode shares one `Alternative` vector
+ * inside the (immutable) MachineModel, so the key is that vector's
+ * address. The scheduler probes the same few opcodes millions of times
+ * per II attempt and revisits IIs across the MII search, hence a cache
+ * rather than a per-attempt recompile of every vertex.
+ *
+ * Not thread-safe: each scheduler (and therefore each BatchPipeliner
+ * worker) owns its own cache. Entries borrow the alternative vector, so
+ * the machine model must outlive the cache.
+ *
+ * A machine has a handful of opcodes and the II search visits a handful
+ * of candidates, so the cache is a flat sequence scanned linearly —
+ * cheaper than a tree or hash map at these sizes, and `get` sits on the
+ * per-attempt setup path of every vertex. A deque keeps the returned
+ * references stable as entries are appended.
+ */
+class CompiledTableCache
+{
+  public:
+    const std::vector<CompiledReservationTable>&
+    get(const std::vector<Alternative>& alternatives, int ii,
+        int num_resources);
+
+    /** Number of distinct (alternative list, II) entries compiled. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        const void* alternatives;
+        int ii;
+        std::vector<CompiledReservationTable> compiled;
+    };
+
+    std::deque<Entry> entries_;
+};
+
+} // namespace ims::machine
+
+#endif // IMS_MACHINE_COMPILED_RESERVATIONS_HPP

@@ -13,6 +13,11 @@ namespace {
 /**
  * Working state of one attempt; separated from IterativeScheduler so the
  * scheduler object itself stays reusable across IIs.
+ *
+ * The attempt keeps its instrumentation in plain members instead of
+ * bumping a support::Counters* on every inner-loop iteration; the
+ * scheduler flushes one batched delta per attempt into the unified
+ * telemetry counters (see IterativeScheduler::trySchedule).
  */
 class Attempt
 {
@@ -21,13 +26,12 @@ class Attempt
             const graph::DepGraph& graph,
             const std::vector<std::int64_t>& priority,
             const IterativeScheduleOptions& options, int ii,
-            support::Counters* counters)
+            machine::CompiledTableCache* cache)
         : graph_(graph),
           priority_(priority),
           options_(options),
           ii_(ii),
-          counters_(counters),
-          schedule_(graph, loop, machine, ii),
+          schedule_(graph, loop, machine, ii, cache),
           ready_(priority)
     {
     }
@@ -44,7 +48,6 @@ class Attempt
         ready_.erase(graph_.start());
         --budget;
         ++stepsUsed_;
-        support::bump(counters_, &support::Counters::scheduleSteps);
 
         while (!ready_.empty() && budget > 0) {
             const graph::VertexId op = ready_.top();
@@ -71,7 +74,6 @@ class Attempt
             scheduleAt(op, slot, alternative);
             --budget;
             ++stepsUsed_;
-            support::bump(counters_, &support::Counters::scheduleSteps);
 
             if (options_.trace != nullptr) {
                 event.alternative = schedule_.alternativeOf(op);
@@ -85,17 +87,18 @@ class Attempt
 
     std::int64_t stepsUsed() const { return stepsUsed_; }
     std::int64_t unschedules() const { return unschedules_; }
+    std::uint64_t estartVisits() const { return estartVisits_; }
+    std::uint64_t slotProbes() const { return slotProbes_; }
     const PartialSchedule& schedule() const { return schedule_; }
 
   private:
     /** Figure 5(b): only currently scheduled predecessors constrain. */
     int
-    calculateEarlyStart(graph::VertexId op) const
+    calculateEarlyStart(graph::VertexId op)
     {
         std::int64_t estart = 0;
         for (graph::EdgeId eid : graph_.inEdges(op)) {
-            support::bump(counters_,
-                          &support::Counters::estartPredecessorVisits);
+            ++estartVisits_;
             const graph::DepEdge& edge = graph_.edge(eid);
             if (edge.from == op || !schedule_.isScheduled(edge.from))
                 continue;
@@ -110,17 +113,44 @@ class Attempt
     /**
      * Figure 4. Returns (slot, alternative); alternative is -1 when no
      * conflict-free slot exists (forced placement).
+     *
+     * One word-parallel slot scan per (non-self-conflicting) alternative
+     * replaces the former slot-by-slot probe loop: each scan tests all
+     * II candidate times of the window at once against the MRT's
+     * per-resource bitsets. The chosen (slot, alternative) is the
+     * lexicographic minimum — earliest slot, then lowest alternative
+     * index — exactly what the slot-by-slot, alternative-by-alternative
+     * loop produced, so schedules are bit-identical.
      */
     std::pair<int, int>
     findTimeSlot(graph::VertexId op, int min_time, int max_time)
     {
-        for (int t = min_time; t <= max_time; ++t) {
-            support::bump(counters_,
-                          &support::Counters::findTimeSlotProbes);
-            const int alternative = schedule_.fittingAlternative(op, t);
-            if (alternative >= 0)
-                return {t, alternative};
+        assert(max_time - min_time + 1 == ii_);
+        const auto& compiled = schedule_.compiledAlternativesOf(op);
+        int best_slot = -1;
+        int best_alternative = -1;
+        for (std::size_t alt = 0; alt < compiled.size(); ++alt) {
+            if (compiled[alt].selfConflicts())
+                continue;
+            const int slot =
+                schedule_.mrt().firstFreeSlot(compiled[alt], min_time);
+            if (slot < 0)
+                continue;
+            if (best_slot < 0 || slot < best_slot) {
+                best_slot = slot;
+                best_alternative = static_cast<int>(alt);
+            }
+            if (best_slot == min_time)
+                break; // no alternative can beat the window's start
         }
+        if (best_slot >= 0) {
+            // Keep the Table-4 probe metric comparable: the slot-by-slot
+            // loop this scan replaced examined every slot up to the hit.
+            slotProbes_ +=
+                static_cast<std::uint64_t>(best_slot - min_time + 1);
+            return {best_slot, best_alternative};
+        }
+        slotProbes_ += static_cast<std::uint64_t>(max_time - min_time + 1);
         // No conflict-free slot: pick per the forward-progress rule.
         int slot;
         if (!options_.forwardProgressRule) {
@@ -143,10 +173,9 @@ class Attempt
             // usable at this II and displace only the operations holding
             // *its* resources — evicting victims of the alternatives not
             // chosen would inflate the unschedule count for nothing.
-            const auto& alternatives = schedule_.alternativesOf(op);
-            for (std::size_t alt = 0; alt < alternatives.size(); ++alt) {
-                if (ModuloReservationTable::selfConflicts(
-                        alternatives[alt].table, ii_))
+            const auto& compiled = schedule_.compiledAlternativesOf(op);
+            for (std::size_t alt = 0; alt < compiled.size(); ++alt) {
+                if (compiled[alt].selfConflicts())
                     continue;
                 alternative = static_cast<int>(alt);
                 break;
@@ -154,7 +183,8 @@ class Attempt
             assert(alternative >= 0 &&
                    "allVerticesPlaceable guarantees a usable alternative");
             schedule_.mrt().conflictingOps(
-                alternatives[alternative].table, slot, conflictScratch_);
+                schedule_.alternativesOf(op)[alternative].table, slot,
+                conflictScratch_);
             if (options_.trace != nullptr)
                 resourceDisplacedThisStep_ = conflictScratch_;
             for (int victim : conflictScratch_)
@@ -190,14 +220,12 @@ class Attempt
         ++unschedules_;
         if (options_.trace != nullptr)
             displacedThisStep_.push_back(victim);
-        support::bump(counters_, &support::Counters::unscheduleSteps);
     }
 
     const graph::DepGraph& graph_;
     const std::vector<std::int64_t>& priority_;
     const IterativeScheduleOptions& options_;
     int ii_;
-    support::Counters* counters_;
     PartialSchedule schedule_;
     ReadyQueue ready_;
     /** Scratch for forced-placement conflict queries (no per-call alloc). */
@@ -206,6 +234,8 @@ class Attempt
     std::vector<graph::VertexId> resourceDisplacedThisStep_;
     std::int64_t stepsUsed_ = 0;
     std::int64_t unschedules_ = 0;
+    std::uint64_t estartVisits_ = 0;
+    std::uint64_t slotProbes_ = 0;
 };
 
 } // namespace
@@ -238,8 +268,24 @@ IterativeScheduler::trySchedule(int ii, std::int64_t budget)
                           priorityWorkspace_);
 
     Attempt attempt(loop_, machine_, graph_, priorityWorkspace_.priorities,
-                    options_, ii, counters_);
+                    options_, ii, &compiledCache_);
     const bool success = attempt.run(budget);
+
+    // One batched delta per attempt feeds the unified telemetry counters
+    // (the deprecated Counters* shim and, through the pipeliner's
+    // end-of-run onCounters, every TelemetrySink) — the hot loop itself
+    // never touches the shared struct.
+    if (counters_ != nullptr) {
+        counters_->estartPredecessorVisits += attempt.estartVisits();
+        counters_->findTimeSlotProbes += attempt.slotProbes();
+        counters_->scheduleSteps +=
+            static_cast<std::uint64_t>(attempt.stepsUsed());
+        counters_->unscheduleSteps +=
+            static_cast<std::uint64_t>(attempt.unschedules());
+        counters_->mrtMaskProbes += attempt.schedule().mrt().maskProbes();
+        counters_->mrtSlotScans += attempt.schedule().mrt().slotScans();
+    }
+
     if (!success)
         return std::nullopt;
 

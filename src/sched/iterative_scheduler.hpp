@@ -8,6 +8,7 @@
 #include "graph/dep_graph.hpp"
 #include "graph/scc.hpp"
 #include "ir/loop.hpp"
+#include "machine/compiled_reservations.hpp"
 #include "machine/machine_model.hpp"
 #include "sched/priority.hpp"
 #include "support/counters.hpp"
@@ -117,6 +118,9 @@ class IterativeScheduler
     /** Priority/HeightR buffers reused across candidate IIs, so a failed
      *  attempt does not reallocate (see PriorityWorkspace). */
     PriorityWorkspace priorityWorkspace_;
+    /** Reservation tables lowered to bitmasks, keyed by (alternative
+     *  list, II); shared across every attempt of this scheduler. */
+    machine::CompiledTableCache compiledCache_;
 };
 
 } // namespace ims::sched

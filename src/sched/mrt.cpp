@@ -1,6 +1,7 @@
 #include "sched/mrt.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace ims::sched {
@@ -9,10 +10,58 @@ ModuloReservationTable::ModuloReservationTable(int ii, int num_resources,
                                                int num_ops)
     : ii_(ii),
       numResources_(num_resources),
+      wordsPerRow_((num_resources + 63) / 64),
+      wordsPerColumn_((ii + 63) / 64),
+      lastColumnWordMask_(ii % 64 == 0
+                              ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << (ii % 64)) - 1),
       cells_(static_cast<std::size_t>(ii) * num_resources, kFree),
-      held_(num_ops)
+      held_(num_ops),
+      rowMasks_(static_cast<std::size_t>(ii) * wordsPerRow_, 0),
+      resourceRows_(static_cast<std::size_t>(num_resources) *
+                        wordsPerColumn_,
+                    0),
+      scanScratch_(wordsPerColumn_, 0)
 {
     assert(ii >= 1);
+}
+
+void
+ModuloReservationTable::setCellBits(int row, machine::ResourceId resource)
+{
+    std::uint64_t& row_word =
+        rowMasks_[static_cast<std::size_t>(row) * wordsPerRow_ +
+                  (resource >> 6)];
+    const std::uint64_t row_bit = std::uint64_t{1} << (resource & 63);
+    assert((row_word & row_bit) == 0 && "mask disagrees with owner cells");
+    row_word |= row_bit;
+
+    std::uint64_t& col_word =
+        resourceRows_[static_cast<std::size_t>(resource) *
+                          wordsPerColumn_ +
+                      (row >> 6)];
+    const std::uint64_t col_bit = std::uint64_t{1} << (row & 63);
+    assert((col_word & col_bit) == 0 && "mask disagrees with owner cells");
+    col_word |= col_bit;
+}
+
+void
+ModuloReservationTable::clearCellBits(int row, machine::ResourceId resource)
+{
+    std::uint64_t& row_word =
+        rowMasks_[static_cast<std::size_t>(row) * wordsPerRow_ +
+                  (resource >> 6)];
+    const std::uint64_t row_bit = std::uint64_t{1} << (resource & 63);
+    assert((row_word & row_bit) != 0 && "mask disagrees with owner cells");
+    row_word &= ~row_bit;
+
+    std::uint64_t& col_word =
+        resourceRows_[static_cast<std::size_t>(resource) *
+                          wordsPerColumn_ +
+                      (row >> 6)];
+    const std::uint64_t col_bit = std::uint64_t{1} << (row & 63);
+    assert((col_word & col_bit) != 0 && "mask disagrees with owner cells");
+    col_word &= ~col_bit;
 }
 
 bool
@@ -25,6 +74,114 @@ ModuloReservationTable::conflicts(const machine::ReservationTable& table,
             return true;
     }
     return false;
+}
+
+bool
+ModuloReservationTable::conflicts(
+    const machine::CompiledReservationTable& table, int time) const
+{
+    assert(table.ii() == ii_ && table.wordsPerRow() == wordsPerRow_);
+    ++maskProbes_;
+    const int tm = rowOf(time);
+    const int num_rows = table.numRows();
+    for (int k = 0; k < num_rows; ++k) {
+        int row = table.rowIndex(k) + tm;
+        if (row >= ii_)
+            row -= ii_;
+        const std::uint64_t* use_words = table.rowWords(k);
+        const std::uint64_t* occupancy = rowMask(row);
+        for (int w = 0; w < wordsPerRow_; ++w) {
+            if ((use_words[w] & occupancy[w]) != 0)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+ModuloReservationTable::orRotatedInto(const std::uint64_t* src,
+                                      int rotation,
+                                      std::uint64_t* dst) const
+{
+    const int W = wordsPerColumn_;
+    if (rotation == 0) {
+        for (int i = 0; i < W; ++i)
+            dst[i] |= src[i];
+        return;
+    }
+    // rotr over the ii-bit field: (src >> rotation) | (src << (ii - s)),
+    // with the unused high bits of the last word masked back off.
+    const int ws = rotation >> 6;
+    const int bs = rotation & 63;
+    const int left = ii_ - rotation;
+    const int wl = left >> 6;
+    const int bl = left & 63;
+    for (int i = 0; i < W; ++i) {
+        std::uint64_t value = 0;
+        const int j = i + ws;
+        if (j < W)
+            value = src[j] >> bs;
+        if (bs != 0 && j + 1 < W)
+            value |= src[j + 1] << (64 - bs);
+        const int k = i - wl;
+        if (k >= 0)
+            value |= src[k] << bl;
+        if (bl != 0 && k - 1 >= 0)
+            value |= src[k - 1] >> (64 - bl);
+        if (i == W - 1)
+            value &= lastColumnWordMask_;
+        dst[i] |= value;
+    }
+}
+
+int
+ModuloReservationTable::firstFreeSlot(
+    const machine::CompiledReservationTable& table, int min_time) const
+{
+    assert(table.ii() == ii_ && table.wordsPerRow() == wordsPerRow_);
+    assert(!table.selfConflicts() &&
+           "self-conflicting alternatives are pre-filtered");
+    ++slotScans_;
+    if (table.empty())
+        return min_time;
+
+    // Conflict mask over issue residues: bit p is set iff issuing the
+    // table at any time ≡ p (mod II) collides. A use of resource R at
+    // rotation u collides at residue p iff row (p + u) mod II of R is
+    // occupied — i.e. R's row bitset rotated down by u.
+    const int W = wordsPerColumn_;
+    std::uint64_t* conflict = scanScratch_.data();
+    std::fill(conflict, conflict + W, 0);
+    const int num_uses = table.numUses();
+    for (int i = 0; i < num_uses; ++i) {
+        const auto use = table.use(i);
+        orRotatedInto(resourceRows(use.resource), use.rotation, conflict);
+    }
+
+    // First zero bit at or cyclically after residue p0 = min_time mod II.
+    const int p0 = rowOf(min_time);
+    const auto scan = [&](int from, int limit) -> int {
+        for (int w = from >> 6; w <= (limit - 1) >> 6; ++w) {
+            std::uint64_t free = ~conflict[w];
+            if (w == from >> 6)
+                free &= ~std::uint64_t{0} << (from & 63);
+            if (w == (limit - 1) >> 6 && (limit & 63) != 0)
+                free &= (std::uint64_t{1} << (limit & 63)) - 1;
+            if (free != 0) {
+                const int p = (w << 6) + std::countr_zero(free);
+                if (p < limit)
+                    return p;
+            }
+        }
+        return -1;
+    };
+    int p = scan(p0, ii_);
+    if (p < 0 && p0 > 0)
+        p = scan(0, p0);
+    if (p < 0)
+        return -1;
+    const int delta = p >= p0 ? p - p0 : p - p0 + ii_;
+    return min_time + delta;
 }
 
 std::vector<int>
@@ -64,8 +221,12 @@ ModuloReservationTable::reserve(int op,
             static_cast<std::size_t>(row) * numResources_ + use.resource;
         assert(cells_[cell] == kFree && "double booking in MRT");
         cells_[cell] = op;
+        setCellBits(row, use.resource);
         held_[op].push_back(static_cast<int>(cell));
     }
+#ifdef IMS_EXPENSIVE_CHECKS
+    assert(masksConsistent());
+#endif
 }
 
 void
@@ -75,8 +236,12 @@ ModuloReservationTable::release(int op)
     for (int cell : held_[op]) {
         assert(cells_[cell] == op);
         cells_[cell] = kFree;
+        clearCellBits(cell / numResources_, cell % numResources_);
     }
     held_[op].clear();
+#ifdef IMS_EXPENSIVE_CHECKS
+    assert(masksConsistent());
+#endif
 }
 
 bool
@@ -101,6 +266,25 @@ ModuloReservationTable::reservedCellCount() const
     return static_cast<int>(
         std::count_if(cells_.begin(), cells_.end(),
                       [](int owner) { return owner != kFree; }));
+}
+
+bool
+ModuloReservationTable::masksConsistent() const
+{
+    for (int row = 0; row < ii_; ++row) {
+        for (int resource = 0; resource < numResources_; ++resource) {
+            const bool occupied = owner(row, resource) != kFree;
+            const bool row_bit =
+                (rowMask(row)[resource >> 6] >>
+                     (resource & 63) & 1) != 0;
+            const bool col_bit =
+                (resourceRows(resource)[row >> 6] >> (row & 63) & 1) !=
+                0;
+            if (row_bit != occupied || col_bit != occupied)
+                return false;
+        }
+    }
+    return true;
 }
 
 } // namespace ims::sched

@@ -1,21 +1,40 @@
 #ifndef IMS_SCHED_MRT_HPP
 #define IMS_SCHED_MRT_HPP
 
+#include <cstdint>
 #include <vector>
 
+#include "machine/compiled_reservations.hpp"
 #include "machine/reservation_table.hpp"
 
 namespace ims::sched {
 
 /**
- * The modulo reservation table (MRT) of §3.1: a schedule reservation table
- * of exactly II rows. Scheduling an operation at time T that uses resource
- * R at relative time t records the reservation at row (T + t) mod II, so
- * "a conflict at time T implies conflicts at all times T + k*II".
+ * The modulo reservation table (MRT) of §3.1: a schedule reservation
+ * table of exactly II rows. Scheduling an operation at time T that uses
+ * resource R at relative time t records the reservation at row
+ * (T + t) mod II, so "a conflict at time T implies conflicts at all
+ * times T + k*II".
  *
  * Each cell remembers which operation owns it, so the scheduler can both
  * test for conflicts and determine the set of operations to displace
- * (§3.4).
+ * (§3.4). The owner grid stays authoritative for displacement; alongside
+ * it the table maintains two redundant bitmask views that make conflict
+ * queries word-parallel (see docs/ALGORITHM.md, "Compiled reservation
+ * tables"):
+ *
+ *  - a per-row occupancy mask over resources, ANDed against a
+ *    CompiledReservationTable's row masks for single-time conflict
+ *    tests, and
+ *  - a per-resource bitset over rows, whose rotations drive
+ *    `firstFreeSlot`: one pass over an alternative's compiled uses
+ *    yields the conflict set of *all* II candidate issue times at once,
+ *    64 candidates per machine word.
+ *
+ * In debug builds every reserve/release asserts that the masks agree
+ * with the owner cells it touched; `masksConsistent()` checks the whole
+ * grid (the randomized property test calls it after every mutation, and
+ * IMS_EXPENSIVE_CHECKS builds assert it on each one).
  */
 class ModuloReservationTable
 {
@@ -29,9 +48,29 @@ class ModuloReservationTable
 
     /**
      * True if placing `table` at issue time `time` collides with any
-     * existing reservation.
+     * existing reservation. (Reference implementation over the owner
+     * cells; the scheduler hot path uses the compiled overload.)
      */
     bool conflicts(const machine::ReservationTable& table, int time) const;
+
+    /**
+     * Mask-based conflict test: a handful of ANDs between `table`'s
+     * per-row resource masks and this table's row occupancy masks.
+     */
+    bool conflicts(const machine::CompiledReservationTable& table,
+                   int time) const;
+
+    /**
+     * Word-parallel slot scan (the Figure 4 FindTimeSlot window): the
+     * earliest conflict-free issue time for `table` in
+     * [min_time, min_time + II - 1], or -1 when every candidate
+     * conflicts. `table` must have been compiled for this II and must
+     * not self-conflict. One pass over the compiled uses rotates each
+     * used resource's row bitset into a conflict mask over all II issue
+     * residues, then scans that mask for the first free slot.
+     */
+    int firstFreeSlot(const machine::CompiledReservationTable& table,
+                      int min_time) const;
 
     /**
      * Owners of all cells that placing `table` at `time` would collide
@@ -69,9 +108,24 @@ class ModuloReservationTable
     int reservedCellCount() const;
 
     /**
+     * True if both bitmask views agree with the owner-cell grid on every
+     * (row, resource). The grid is authoritative; this audits the
+     * redundant masks.
+     */
+    bool masksConsistent() const;
+
+    /** Mask conflict tests performed (telemetry: mrt_mask_probes). */
+    std::uint64_t maskProbes() const { return maskProbes_; }
+
+    /** Word-parallel slot scans performed (telemetry: mrt_slot_scans). */
+    std::uint64_t slotScans() const { return slotScans_; }
+
+    /**
      * True if `table` collides with itself under modulo `ii` wrap-around
      * (two uses of one resource in congruent rows): such an alternative
-     * can never be scheduled at this II, at any time slot.
+     * can never be scheduled at this II, at any time slot. The scheduler
+     * hot path reads the flag cached on CompiledReservationTable instead
+     * of re-deriving it here.
      */
     static bool selfConflicts(const machine::ReservationTable& table,
                               int ii);
@@ -86,11 +140,51 @@ class ModuloReservationTable
         return m < 0 ? m + ii_ : m;
     }
 
+    const std::uint64_t*
+    rowMask(int row) const
+    {
+        return rowMasks_.data() +
+               static_cast<std::size_t>(row) * wordsPerRow_;
+    }
+
+    const std::uint64_t*
+    resourceRows(machine::ResourceId resource) const
+    {
+        return resourceRows_.data() +
+               static_cast<std::size_t>(resource) * wordsPerColumn_;
+    }
+
+    void setCellBits(int row, machine::ResourceId resource);
+    void clearCellBits(int row, machine::ResourceId resource);
+
+    /**
+     * OR `src` (an II-bit row bitset) rotated down by `rotation` into
+     * `dst`: bit p of the rotated value is bit (p + rotation) mod II of
+     * `src`. This is the modulo wrap-around identity that lets one
+     * rotation test all II issue residues of one resource use at once.
+     */
+    void orRotatedInto(const std::uint64_t* src, int rotation,
+                       std::uint64_t* dst) const;
+
     int ii_;
     int numResources_;
+    /** Words per row occupancy mask: ceil(numResources / 64). */
+    int wordsPerRow_;
+    /** Words per resource row bitset: ceil(ii / 64). */
+    int wordsPerColumn_;
+    /** Valid-bit mask for the last word of a row bitset. */
+    std::uint64_t lastColumnWordMask_;
     std::vector<int> cells_;
     /** Per op: linear cell indices it holds. */
     std::vector<std::vector<int>> held_;
+    /** Row-major occupancy: ii_ rows of wordsPerRow_ resource words. */
+    std::vector<std::uint64_t> rowMasks_;
+    /** Column-major occupancy: per resource, wordsPerColumn_ row words. */
+    std::vector<std::uint64_t> resourceRows_;
+    /** Scratch conflict mask for firstFreeSlot (no per-call alloc). */
+    mutable std::vector<std::uint64_t> scanScratch_;
+    mutable std::uint64_t maskProbes_ = 0;
+    mutable std::uint64_t slotScans_ = 0;
 };
 
 } // namespace ims::sched

@@ -20,11 +20,13 @@ pseudoAlternatives()
 PartialSchedule::PartialSchedule(const graph::DepGraph& graph,
                                  const ir::Loop& loop,
                                  const machine::MachineModel& machine,
-                                 int ii)
+                                 int ii,
+                                 machine::CompiledTableCache* cache)
     : graph_(graph),
       ii_(ii),
       mrt_(ii, machine.numResources(), graph.numVertices()),
       alternatives_(graph.numVertices()),
+      compiled_(graph.numVertices()),
       scheduled_(graph.numVertices(), false),
       never_(graph.numVertices(), true),
       time_(graph.numVertices(), 0),
@@ -32,6 +34,10 @@ PartialSchedule::PartialSchedule(const graph::DepGraph& graph,
       alternative_(graph.numVertices(), 0)
 {
     assert(loop.size() == graph.numOps());
+    if (cache == nullptr) {
+        ownedCache_ = std::make_unique<machine::CompiledTableCache>();
+        cache = ownedCache_.get();
+    }
     for (graph::VertexId v = 0; v < graph.numVertices(); ++v) {
         if (graph.isPseudo(v)) {
             alternatives_[v] = &pseudoAlternatives();
@@ -39,6 +45,8 @@ PartialSchedule::PartialSchedule(const graph::DepGraph& graph,
             alternatives_[v] =
                 &machine.info(loop.operation(v).opcode).alternatives;
         }
+        compiled_[v] =
+            &cache->get(*alternatives_[v], ii, machine.numResources());
     }
 }
 
@@ -51,12 +59,11 @@ PartialSchedule::resourceConflict(graph::VertexId v, int time) const
 int
 PartialSchedule::fittingAlternative(graph::VertexId v, int time) const
 {
-    const auto& alternatives = *alternatives_[v];
-    for (std::size_t alt = 0; alt < alternatives.size(); ++alt) {
-        const auto& table = alternatives[alt].table;
-        if (ModuloReservationTable::selfConflicts(table, ii_))
+    const auto& compiled = *compiled_[v];
+    for (std::size_t alt = 0; alt < compiled.size(); ++alt) {
+        if (compiled[alt].selfConflicts())
             continue;
-        if (!mrt_.conflicts(table, time))
+        if (!mrt_.conflicts(compiled[alt], time))
             return static_cast<int>(alt);
     }
     return -1;
@@ -89,12 +96,9 @@ bool
 PartialSchedule::allVerticesPlaceable() const
 {
     for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
-        const auto& alternatives = *alternatives_[v];
         bool placeable = false;
-        for (const auto& alt : alternatives) {
-            placeable = placeable ||
-                        !ModuloReservationTable::selfConflicts(alt.table, ii_);
-        }
+        for (const auto& alt : *compiled_[v])
+            placeable = placeable || !alt.selfConflicts();
         if (!placeable)
             return false;
     }

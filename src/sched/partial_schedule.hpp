@@ -1,10 +1,12 @@
 #ifndef IMS_SCHED_PARTIAL_SCHEDULE_HPP
 #define IMS_SCHED_PARTIAL_SCHEDULE_HPP
 
+#include <memory>
 #include <vector>
 
 #include "graph/dep_graph.hpp"
 #include "ir/loop.hpp"
+#include "machine/compiled_reservations.hpp"
 #include "machine/machine_model.hpp"
 #include "sched/mrt.hpp"
 
@@ -18,12 +20,20 @@ namespace ims::sched {
  *
  * Vertices are the dependence graph's (loop operations plus START/STOP);
  * pseudo vertices occupy no resources.
+ *
+ * Construction lowers every vertex's reservation tables into
+ * bitmask-compiled form (machine::CompiledReservationTable) via a
+ * CompiledTableCache, so conflict probes and slot scans run on masks
+ * instead of walking use lists. Pass a caller-owned cache to share the
+ * compiled tables across attempts and IIs (the IterativeScheduler does);
+ * with none, the schedule owns a private cache.
  */
 class PartialSchedule
 {
   public:
     PartialSchedule(const graph::DepGraph& graph, const ir::Loop& loop,
-                    const machine::MachineModel& machine, int ii);
+                    const machine::MachineModel& machine, int ii,
+                    machine::CompiledTableCache* cache = nullptr);
 
     int ii() const { return ii_; }
 
@@ -48,6 +58,13 @@ class PartialSchedule
     alternativesOf(graph::VertexId v) const
     {
         return *alternatives_[v];
+    }
+
+    /** Bitmask-compiled form of `v`'s alternatives at this II. */
+    const std::vector<machine::CompiledReservationTable>&
+    compiledAlternativesOf(graph::VertexId v) const
+    {
+        return *compiled_[v];
     }
 
     const ModuloReservationTable& mrt() const { return mrt_; }
@@ -83,7 +100,11 @@ class PartialSchedule
     const graph::DepGraph& graph_;
     int ii_;
     ModuloReservationTable mrt_;
+    /** Fallback cache when the caller did not supply one. */
+    std::unique_ptr<machine::CompiledTableCache> ownedCache_;
     std::vector<const std::vector<machine::Alternative>*> alternatives_;
+    std::vector<const std::vector<machine::CompiledReservationTable>*>
+        compiled_;
     std::vector<bool> scheduled_;
     std::vector<bool> never_;
     std::vector<int> time_;

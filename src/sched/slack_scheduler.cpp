@@ -25,7 +25,6 @@ class SlackAttempt
                  support::Counters* counters)
         : graph_(graph),
           ii_(ii),
-          counters_(counters),
           dist_(graph, ii, counters),
           schedule_(graph, loop, machine, ii),
           unplaced_(graph.numVertices(), true),
@@ -64,9 +63,7 @@ class SlackAttempt
                     std::min<std::int64_t>(ltime, etime + ii_ - 1);
                 if (early) {
                     for (std::int64_t t = lo; t <= hi; ++t) {
-                        support::bump(
-                            counters_,
-                            &support::Counters::findTimeSlotProbes);
+                        ++slotProbes_;
                         alternative = schedule_.fittingAlternative(
                             op, static_cast<int>(t));
                         if (alternative >= 0) {
@@ -78,9 +75,7 @@ class SlackAttempt
                     const std::int64_t down_lo =
                         std::max<std::int64_t>(lo, ltime - ii_ + 1);
                     for (std::int64_t t = ltime; t >= down_lo; --t) {
-                        support::bump(
-                            counters_,
-                            &support::Counters::findTimeSlotProbes);
+                        ++slotProbes_;
                         alternative = schedule_.fittingAlternative(
                             op, static_cast<int>(t));
                         if (alternative >= 0) {
@@ -108,12 +103,18 @@ class SlackAttempt
             ejectDependenceViolations(op, slot, unschedules);
             --budget;
             ++steps_used;
-            support::bump(counters_, &support::Counters::scheduleSteps);
+            ++scheduleSteps_;
         }
         return numUnplaced_ == 0;
     }
 
     const PartialSchedule& schedule() const { return schedule_; }
+
+    /** Batched counter deltas, flushed once per attempt by the driver. */
+    std::uint64_t estartVisits() const { return estartVisits_; }
+    std::uint64_t slotProbes() const { return slotProbes_; }
+    std::uint64_t scheduleSteps() const { return scheduleSteps_; }
+    std::uint64_t unscheduleSteps() const { return unscheduleSteps_; }
 
   private:
     /** Dynamic (etime, ltime) window against the placed operations. */
@@ -125,8 +126,7 @@ class SlackAttempt
         for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
             if (unplaced_[v] || v == op)
                 continue;
-            support::bump(counters_,
-                          &support::Counters::estartPredecessorVisits);
+            ++estartVisits_;
             const std::int64_t to_op = dist_.atVertex(v, op);
             if (to_op != mii::MinDistMatrix::kMinusInf) {
                 etime = std::max(etime, schedule_.timeOf(v) + to_op);
@@ -200,18 +200,20 @@ class SlackAttempt
         --numPlaced_;
         ++numUnplaced_;
         ++unschedules;
-        support::bump(counters_, &support::Counters::unscheduleSteps);
+        ++unscheduleSteps_;
     }
 
     /** Eject everything conflicting with any alternative at `slot`. */
     void
     forceEject(graph::VertexId op, int slot, std::int64_t& unschedules)
     {
-        for (const auto& alt : schedule_.alternativesOf(op)) {
-            if (ModuloReservationTable::selfConflicts(alt.table, ii_))
+        const auto& alternatives = schedule_.alternativesOf(op);
+        const auto& compiled = schedule_.compiledAlternativesOf(op);
+        for (std::size_t alt = 0; alt < alternatives.size(); ++alt) {
+            if (compiled[alt].selfConflicts())
                 continue;
-            for (int victim :
-                 schedule_.mrt().conflictingOps(alt.table, slot)) {
+            for (int victim : schedule_.mrt().conflictingOps(
+                     alternatives[alt].table, slot)) {
                 eject(victim, unschedules);
             }
         }
@@ -252,12 +254,17 @@ class SlackAttempt
 
     const graph::DepGraph& graph_;
     int ii_;
-    support::Counters* counters_;
     mii::MinDistMatrix dist_;
     PartialSchedule schedule_;
     std::vector<bool> unplaced_;
     int numPlaced_ = 0;
     int numUnplaced_ = 0;
+    /** Plain locals instead of per-event Counters writes on the hot
+        path; `window` is const, hence mutable. */
+    mutable std::uint64_t estartVisits_ = 0;
+    std::uint64_t slotProbes_ = 0;
+    std::uint64_t scheduleSteps_ = 0;
+    std::uint64_t unscheduleSteps_ = 0;
 };
 
 } // namespace
@@ -286,7 +293,21 @@ slackModuloSchedule(const ir::Loop& loop,
         SlackAttempt attempt(loop, machine, graph, ii, counters);
         std::int64_t steps = 0;
         std::int64_t unschedules = 0;
-        if (attempt.run(budget, steps, unschedules)) {
+        const bool scheduled = attempt.run(budget, steps, unschedules);
+        support::bump(counters,
+                      &support::Counters::estartPredecessorVisits,
+                      attempt.estartVisits());
+        support::bump(counters, &support::Counters::findTimeSlotProbes,
+                      attempt.slotProbes());
+        support::bump(counters, &support::Counters::scheduleSteps,
+                      attempt.scheduleSteps());
+        support::bump(counters, &support::Counters::unscheduleSteps,
+                      attempt.unscheduleSteps());
+        support::bump(counters, &support::Counters::mrtMaskProbes,
+                      attempt.schedule().mrt().maskProbes());
+        support::bump(counters, &support::Counters::mrtSlotScans,
+                      attempt.schedule().mrt().slotScans());
+        if (scheduled) {
             outcome.totalSteps += steps;
             outcome.totalUnschedules += unschedules;
             ScheduleResult result;

@@ -33,6 +33,10 @@ struct Counters
     std::uint64_t scheduleSteps = 0;
     /** Operations displaced from the schedule. */
     std::uint64_t unscheduleSteps = 0;
+    /** Single-time bitmask conflict tests against the MRT. */
+    std::uint64_t mrtMaskProbes = 0;
+    /** Word-parallel whole-window slot scans over the MRT. */
+    std::uint64_t mrtSlotScans = 0;
 
     Counters&
     operator+=(const Counters& other)
@@ -46,6 +50,8 @@ struct Counters
         findTimeSlotProbes += other.findTimeSlotProbes;
         scheduleSteps += other.scheduleSteps;
         unscheduleSteps += other.unscheduleSteps;
+        mrtMaskProbes += other.mrtMaskProbes;
+        mrtSlotScans += other.mrtSlotScans;
         return *this;
     }
 };

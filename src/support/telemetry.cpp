@@ -24,7 +24,7 @@ struct CounterField
     std::uint64_t Counters::* field;
 };
 
-constexpr std::array<CounterField, 9> kCounterFields = {{
+constexpr std::array<CounterField, 11> kCounterFields = {{
     {"scc_edge_visits", &Counters::sccEdgeVisits},
     {"res_mii_inspections", &Counters::resMiiInspections},
     {"min_dist_inner_steps", &Counters::minDistInnerSteps},
@@ -34,6 +34,8 @@ constexpr std::array<CounterField, 9> kCounterFields = {{
     {"find_time_slot_probes", &Counters::findTimeSlotProbes},
     {"schedule_steps", &Counters::scheduleSteps},
     {"unschedule_steps", &Counters::unscheduleSteps},
+    {"mrt_mask_probes", &Counters::mrtMaskProbes},
+    {"mrt_slot_scans", &Counters::mrtSlotScans},
 }};
 
 /** Shortest representation that round-trips a double. */
