@@ -57,8 +57,9 @@ main()
             support::check(violations.empty(),
                            "illegal schedule from " + w.loop.name() +
                                ": " +
-                               (violations.empty() ? ""
-                                                   : violations[0]));
+                               (violations.empty()
+                                    ? ""
+                                    : violations[0].toString()));
             row.atMii += outcome.schedule.ii == outcome.mii;
             row.iiRatio += static_cast<double>(outcome.schedule.ii) /
                            outcome.mii;

@@ -99,7 +99,7 @@ measureLoop(const workloads::Workload& workload,
         sched::verifySchedule(loop, machine, graph, outcome.schedule);
     support::check(violations.empty(),
                    "illegal schedule for '" + loop.name() +
-                       "': " + (violations.empty() ? "" : violations[0]));
+                       "': " + (violations.empty() ? "" : violations[0].toString()));
 
     record.listScheduleLength =
         sched::listSchedule(loop, machine, graph).scheduleLength;

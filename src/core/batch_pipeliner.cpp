@@ -1,12 +1,11 @@
 #include "core/batch_pipeliner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <sstream>
-#include <thread>
 #include <utility>
 
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -117,56 +116,30 @@ BatchPipeliner::run(const std::vector<PipelineRequest>& requests) const
     BatchResult batch;
     batch.items.resize(requests.size());
 
-    int threads = options_.threads;
-    if (threads <= 0)
-        threads = static_cast<int>(std::thread::hardware_concurrency());
-    const int max_useful =
-        std::max(1, static_cast<int>(requests.size()));
-    threads = std::clamp(threads, 1, max_useful);
+    const int threads =
+        support::resolveThreads(options_.threads, requests.size());
     batch.threadsUsed = threads;
 
     const auto start = std::chrono::steady_clock::now();
 
-    // Deterministic by construction: worker i-claims are racy in *which
-    // thread* processes a request, but each request's computation reads
-    // only the request, the immutable machine model and the (copied)
-    // options, and writes only its own pre-sized slot. Verified under
-    // -fsanitize=thread (scripts/check_tsan.sh).
-    const auto process = [this, &requests, &batch](std::size_t index) {
-        const PipelineRequest& request = requests[index];
-        BatchItem& item = batch.items[index];
-        item.name = request.loop->name();
-        try {
-            item.result = pipeliner_.pipeline(request);
-        } catch (const std::exception& error) {
-            // pipeline() reports input problems via diagnostics; anything
-            // escaping it is unexpected but must not sink the batch.
-            item.result.diagnostics.push_back(
-                {Diagnostic::Severity::kError, "", error.what()});
-        }
-    };
-
-    if (threads == 1) {
-        for (std::size_t i = 0; i < requests.size(); ++i)
-            process(i);
-    } else {
-        std::atomic<std::size_t> next{0};
-        std::vector<std::thread> workers;
-        workers.reserve(threads);
-        for (int t = 0; t < threads; ++t) {
-            workers.emplace_back([&process, &next, &requests] {
-                while (true) {
-                    const std::size_t index =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (index >= requests.size())
-                        return;
-                    process(index);
-                }
-            });
-        }
-        for (auto& worker : workers)
-            worker.join();
-    }
+    // Deterministic by construction: each request's computation reads only
+    // the request, the immutable machine model and the (copied) options,
+    // and writes only its own pre-sized slot (see support::parallelFor).
+    support::parallelFor(
+        requests.size(), threads, [this, &requests, &batch](std::size_t index) {
+            const PipelineRequest& request = requests[index];
+            BatchItem& item = batch.items[index];
+            item.name = request.loop->name();
+            try {
+                item.result = pipeliner_.pipeline(request);
+            } catch (const std::exception& error) {
+                // pipeline() reports input problems via diagnostics;
+                // anything escaping it is unexpected but must not sink
+                // the batch.
+                item.result.diagnostics.push_back(
+                    {Diagnostic::Severity::kError, "", error.what(), ""});
+            }
+        });
 
     batch.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -2,14 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
+#include "codegen/kernel_only.hpp"
 #include "graph/scc.hpp"
 #include "mii/min_dist.hpp"
 #include "sched/verifier.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "sim/section_executor.hpp"
 #include "support/error.hpp"
+#include "workloads/kernels.hpp"
 
 namespace ims::core {
+
+namespace {
+
+/**
+ * Thrown after the diagnostics explaining a failure have already been
+ * pushed onto the result; the catch handler unwinds without adding the
+ * generic "error.<phase>" diagnostic a raw exception would get.
+ */
+struct ReportedFailure : std::exception
+{
+    const char*
+    what() const noexcept override
+    {
+        return "failure already reported via diagnostics";
+    }
+};
+
+} // namespace
 
 std::string
 PipelineResult::firstError() const
@@ -37,6 +60,76 @@ PipelineResult::artifactsOrThrow() &&
 {
     artifactsOrThrow(); // throw on failure
     return std::move(*artifacts);
+}
+
+std::vector<Diagnostic>
+simEquivalenceDiagnostics(const ir::Loop& loop,
+                          const PipelineArtifacts& artifacts,
+                          const std::vector<int>& trips,
+                          std::uint64_t seed)
+{
+    std::vector<Diagnostic> out;
+    bool has_exit = false;
+    for (const auto& op : loop.operations())
+        has_exit = has_exit || op.opcode == ir::Opcode::kExitIf;
+
+    for (const int trip : trips) {
+        if (trip < 0)
+            continue;
+        const sim::SimSpec spec = workloads::makeSimSpec(loop, trip, seed);
+
+        std::optional<sim::SimResult> reference;
+        try {
+            reference = sim::runSequential(loop, spec);
+        } catch (const std::exception& error) {
+            out.push_back({Diagnostic::Severity::kError, "verify",
+                           "sequential reference failed at trip " +
+                               std::to_string(trip) + ": " + error.what(),
+                           "sim.error"});
+            continue;
+        }
+
+        const auto compare = [&](const char* engine, auto&& run) {
+            try {
+                const sim::SimResult got = run();
+                const std::string diff =
+                    sim::describeDifference(*reference, got);
+                if (!diff.empty()) {
+                    out.push_back(
+                        {Diagnostic::Severity::kError, "verify",
+                         std::string(engine) +
+                             " diverges from sequential at trip " +
+                             std::to_string(trip) + ": " + diff,
+                         "sim.mismatch"});
+                }
+            } catch (const std::exception& error) {
+                out.push_back({Diagnostic::Severity::kError, "verify",
+                               std::string(engine) + " failed at trip " +
+                                   std::to_string(trip) + ": " +
+                                   error.what(),
+                               "sim.error"});
+            }
+        };
+
+        compare("pipelined", [&] {
+            return sim::runPipelined(loop, artifacts.outcome.schedule, spec)
+                .state;
+        });
+        if (!has_exit && trip >= artifacts.code.kernel.stageCount) {
+            compare("generated_code", [&] {
+                return sim::runGeneratedCode(loop, artifacts.code, spec);
+            });
+        }
+        if (!has_exit && trip >= 1) {
+            compare("kernel_only", [&] {
+                const codegen::KernelOnlyCode kernel_only =
+                    codegen::generateKernelOnly(loop,
+                                                artifacts.outcome.schedule);
+                return sim::runKernelOnly(loop, kernel_only, spec);
+            });
+        }
+    }
+    return out;
 }
 
 SoftwarePipeliner::SoftwarePipeliner(machine::MachineModel machine,
@@ -94,9 +187,15 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
                 sched::verifySchedule(loop, machine_, dep_graph,
                                       outcome.schedule);
             if (!violations.empty()) {
-                throw support::Error(
-                    "schedule verification failed for '" + loop.name() +
-                    "': " + violations.front());
+                for (const auto& violation : violations) {
+                    result.diagnostics.push_back(
+                        {Diagnostic::Severity::kError, phase,
+                         "schedule verification failed for '" +
+                             loop.name() + "': " + violation.toString(),
+                         "verify." +
+                             sched::violationKindName(violation.kind)});
+                }
+                throw ReportedFailure();
             }
         }
 
@@ -130,8 +229,23 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
         artifacts.registers = codegen::allocateRegisters(
             loop, artifacts.lifetimes, artifacts.code.mve, &sink);
 
+        if (options.verifySim) {
+            phase = support::phaseName(support::Phase::kVerify);
+            support::PhaseTimer timer(&sink, support::Phase::kVerify);
+            auto sim_diagnostics = simEquivalenceDiagnostics(
+                loop, artifacts, options.verifySimTrips,
+                options.verifySimSeed);
+            if (!sim_diagnostics.empty()) {
+                for (auto& diagnostic : sim_diagnostics)
+                    result.diagnostics.push_back(std::move(diagnostic));
+                throw ReportedFailure();
+            }
+        }
+
         result.artifacts = std::move(artifacts);
         result.telemetry.succeeded = true;
+    } catch (const ReportedFailure&) {
+        // Diagnostics for this failure are already on the result.
     } catch (const std::exception& error) {
         // The RAII phase timers record their samples during unwinding, so
         // the last sample the recorder saw pinpoints the failing phase
@@ -140,8 +254,8 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
         // mii_bounds).
         if (!recorder.record().phases.empty())
             phase = support::phaseName(recorder.record().phases.back().phase);
-        result.diagnostics.push_back(
-            {Diagnostic::Severity::kError, phase, error.what()});
+        result.diagnostics.push_back({Diagnostic::Severity::kError, phase,
+                                      error.what(), "error." + phase});
     }
 
     sink.onCounters(counters);

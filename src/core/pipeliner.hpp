@@ -1,6 +1,7 @@
 #ifndef IMS_CORE_PIPELINER_HPP
 #define IMS_CORE_PIPELINER_HPP
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +43,23 @@ struct PipelinerOptions
     sched::ModuloScheduleOptions schedule;
     /** Verify every schedule with the independent checker (cheap). */
     bool verify = true;
+    /**
+     * Additionally verify end-to-end semantics: simulate the loop with the
+     * sequential reference interpreter and with every applicable pipelined
+     * engine (flat schedule, prologue/kernel/epilogue, kernel-only) at each
+     * trip count in `verifySimTrips` and require identical final state.
+     * Much more expensive than the structural check; off by default.
+     */
+    bool verifySim = false;
+    /**
+     * Trip counts for the sim-equivalence oracle. The defaults cover the
+     * degenerate cases (0, 1), trips usually below the stage count (the
+     * generated-code schema is skipped there; kernel-only still runs), and
+     * a trip long enough to reach steady state.
+     */
+    std::vector<int> verifySimTrips = {0, 1, 2, 5, 17};
+    /** Seed for the simulated input data (live-ins, seeds, arrays). */
+    std::uint64_t verifySimSeed = 2026;
     /**
      * Default sink observing every run made with these options (a
      * per-request sink, when set, takes precedence). Must outlive the
@@ -102,6 +120,22 @@ struct PipelinerOptions
     withVerification(bool enabled)
     {
         verify = enabled;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withSimVerification(bool enabled)
+    {
+        verifySim = enabled;
+        return *this;
+    }
+
+    PipelinerOptions&
+    withSimVerification(std::vector<int> trips, std::uint64_t seed)
+    {
+        verifySim = true;
+        verifySimTrips = std::move(trips);
+        verifySimSeed = seed;
         return *this;
     }
 
@@ -180,6 +214,15 @@ struct Diagnostic
     /** Phase the diagnostic arose in ("graph_build", "verify", ...). */
     std::string phase;
     std::string message;
+    /**
+     * Machine-readable failure identity, stable across runs and input
+     * mutations: "verify.<violation kind>" for structural violations
+     * (e.g. "verify.dependence"), "sim.mismatch" / "sim.error" from the
+     * sim-equivalence oracle, "error.<phase>" for everything that throws.
+     * The fuzzing minimizer shrinks inputs while preserving this code, so
+     * a reduced reproducer still fails for the original reason.
+     */
+    std::string code;
 };
 
 /**
@@ -209,6 +252,24 @@ struct PipelineResult
     const PipelineArtifacts& artifactsOrThrow() const&;
     PipelineArtifacts artifactsOrThrow() &&;
 };
+
+/**
+ * The sim-equivalence oracle: run the loop through the sequential
+ * reference interpreter and through every applicable pipelined engine at
+ * each trip count, and report one kError diagnostic (code "sim.mismatch"
+ * or "sim.error") per divergence. Input data is derived from `seed` via
+ * workloads::makeSimSpec, so results are deterministic.
+ *
+ * Engine applicability: the flat-schedule simulator runs at every trip
+ * (including 0); the prologue/kernel/epilogue executor needs
+ * trip >= stageCount and a DO-loop (no early exits); kernel-only needs a
+ * DO-loop and trip >= 1. An empty return means all engines agreed.
+ */
+std::vector<Diagnostic>
+simEquivalenceDiagnostics(const ir::Loop& loop,
+                          const PipelineArtifacts& artifacts,
+                          const std::vector<int>& trips,
+                          std::uint64_t seed);
 
 /**
  * One-call public API: modulo-schedule a loop for a machine and derive all

@@ -1,0 +1,96 @@
+#ifndef IMS_FUZZ_CAMPAIGN_HPP
+#define IMS_FUZZ_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeliner.hpp"
+#include "fuzz/oracles.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace ims::fuzz {
+
+/** Configuration of one fuzzing campaign. */
+struct CampaignOptions
+{
+    /** Master seed; every per-case seed is derived from (seed, index). */
+    std::uint64_t seed = 1;
+    int cases = 500;
+    /** Worker threads; <= 0 means hardware concurrency. */
+    int threads = 0;
+    /** Delta-debug every finding down to a minimal reproducer. */
+    bool minimize = true;
+    /** Directory for reproducer files; empty disables writing. */
+    std::string reproDir;
+    /**
+     * Oracle stack configuration. `oracle.simSeed` is ignored: the
+     * per-case seed is used so replaying a case needs only its seed.
+     */
+    OracleOptions oracle;
+    /** Base scheduling configuration (verify knobs are forced on). */
+    core::PipelinerOptions pipeline;
+    /** Loop-shape profile for the generator. */
+    workloads::GeneratorProfile profile = workloads::fuzzProfile();
+    /**
+     * Fixed machine description (machine::parseMachine format). Empty
+     * means a fresh random machine per case — the default differential
+     * setup.
+     */
+    std::string machineText;
+};
+
+/** One failing case, as reported in the campaign JSON. */
+struct CampaignFinding
+{
+    std::uint64_t caseIndex = 0;
+    std::uint64_t caseSeed = 0;
+    std::string code;
+    std::string message;
+    int ops = 0;
+    /** Ops after minimization (== ops when minimization is off). */
+    int minimizedOps = 0;
+    /** Reproducer file path ("" when writing is disabled). */
+    std::string reproFile;
+};
+
+/** Campaign outcome. toJson() is byte-identical across identical runs. */
+struct CampaignReport
+{
+    std::uint64_t seed = 0;
+    int cases = 0;
+    /** Cases whose every oracle passed. */
+    int clean = 0;
+    std::vector<CampaignFinding> findings;
+    /** Findings per failure code, sorted by code. */
+    std::vector<std::pair<std::string, int>> codeCounts;
+    /** Wall time; deliberately NOT part of toJson() (determinism). */
+    double wallSeconds = 0.0;
+    int threadsUsed = 1;
+
+    /**
+     * Deterministic JSON report: seeds, case counts, per-code tallies
+     * and the findings with their minimized sizes and reproducer paths.
+     * Identical runs (same options) produce byte-identical reports;
+     * timing and thread counts are excluded.
+     */
+    std::string toJson() const;
+};
+
+/**
+ * Run a campaign: generate `cases` (loop, machine) pairs from the seed
+ * schedule, run the full oracle stack on each (in parallel on the
+ * atomic-claim worker pool; results land in pre-sized slots, so the
+ * report is independent of thread interleaving), then minimize findings
+ * sequentially in case order and write their reproducer files.
+ */
+CampaignReport runCampaign(const CampaignOptions& options);
+
+/** The deterministic per-case seed schedule (SplitMix64-style mix). */
+std::uint64_t caseSeed(std::uint64_t campaign_seed,
+                       std::uint64_t case_index);
+
+} // namespace ims::fuzz
+
+#endif // IMS_FUZZ_CAMPAIGN_HPP

@@ -1,0 +1,85 @@
+#include "fuzz/machine_gen.hpp"
+
+#include <vector>
+
+#include "machine/machine_builder.hpp"
+
+namespace ims::fuzz {
+
+namespace {
+
+/** Latency classes: short ALU-like, medium, long (memory/divide-like). */
+int
+drawLatency(support::Rng& rng, ir::Opcode opcode)
+{
+    // Branches resolve at issue in every real model; keep them short so
+    // the loop-control tail never dominates the schedule.
+    if (opcode == ir::Opcode::kBranch || opcode == ir::Opcode::kExitIf)
+        return 1;
+    const double shape = rng.uniformReal();
+    const bool memory_like = opcode == ir::Opcode::kLoad ||
+                             opcode == ir::Opcode::kDiv ||
+                             opcode == ir::Opcode::kSqrt;
+    if (memory_like && shape < 0.5)
+        return rng.uniformInt(10, 24);
+    if (shape < 0.70)
+        return rng.uniformInt(1, 3);
+    if (shape < 0.95)
+        return rng.uniformInt(4, 9);
+    return rng.uniformInt(10, 24);
+}
+
+machine::ReservationTable
+drawTable(support::Rng& rng, int num_resources)
+{
+    machine::ReservationTable table;
+    const double shape = rng.uniformReal();
+    if (shape < 0.45) {
+        // Simple: one resource for one cycle at issue.
+        table.addUse(0, rng.uniformInt(0, num_resources - 1));
+    } else if (shape < 0.75) {
+        // Block: one resource for several consecutive cycles from issue.
+        table.addBlockUse(0, rng.uniformInt(1, 4),
+                          rng.uniformInt(0, num_resources - 1));
+    } else {
+        // Complex: several scattered uses; resources may repeat, which
+        // makes the alternative self-conflict at divisor IIs.
+        const int uses = rng.uniformInt(2, 4);
+        for (int u = 0; u < uses; ++u)
+            table.addUse(rng.uniformInt(0, 5),
+                         rng.uniformInt(0, num_resources - 1));
+    }
+    return table;
+}
+
+} // namespace
+
+machine::MachineModel
+generateMachine(support::Rng& rng, const std::string& name)
+{
+    int num_resources;
+    const double shape = rng.uniformReal();
+    if (shape < 0.10)
+        num_resources = 1;
+    else if (shape < 0.88)
+        num_resources = rng.uniformInt(2, 8);
+    else
+        num_resources = rng.uniformInt(65, 72); // > one 64-bit mask word
+
+    machine::MachineBuilder builder(name);
+    for (int r = 0; r < num_resources; ++r)
+        builder.addResource("r" + std::to_string(r));
+
+    for (int index = 0; index < ir::kNumRealOpcodes; ++index) {
+        const auto opcode = static_cast<ir::Opcode>(index);
+        auto config = builder.opcode(opcode, drawLatency(rng, opcode));
+        const int alternatives = rng.uniformInt(1, 3);
+        for (int a = 0; a < alternatives; ++a) {
+            config.alternative("alt" + std::to_string(a),
+                               drawTable(rng, num_resources));
+        }
+    }
+    return builder.build();
+}
+
+} // namespace ims::fuzz

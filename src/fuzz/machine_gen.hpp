@@ -1,0 +1,38 @@
+#ifndef IMS_FUZZ_MACHINE_GEN_HPP
+#define IMS_FUZZ_MACHINE_GEN_HPP
+
+#include <string>
+
+#include "machine/machine_model.hpp"
+#include "support/rng.hpp"
+
+namespace ims::fuzz {
+
+/**
+ * Generate a random but always-valid machine model for differential
+ * fuzzing. Every real opcode is implemented (so any generated loop can be
+ * scheduled), but everything else is drawn adversarially:
+ *
+ *  - resource counts cover the degenerate shapes: single-resource
+ *    machines (everything conflicts), ordinary small machines, and
+ *    machines with more than 64 resources (exercising the multi-word
+ *    paths of the bitmask-compiled reservation tables);
+ *  - reservation tables span all three §2.1 classes — simple, block and
+ *    complex — including complex tables that reuse one resource at two
+ *    offsets and therefore self-conflict at every II dividing the offset
+ *    difference;
+ *  - opcodes get one to three alternatives with independent tables;
+ *  - latencies spread from 1 to ~24 cycles with a bias towards long
+ *    memory/divide latencies, stressing RecMII-bound loops.
+ *
+ * Any table stops self-conflicting once the II exceeds its largest
+ * same-resource offset difference, so the iterative scheduler's II
+ * escalation always terminates with a legal schedule. Deterministic in
+ * the rng state and name.
+ */
+machine::MachineModel generateMachine(support::Rng& rng,
+                                      const std::string& name);
+
+} // namespace ims::fuzz
+
+#endif // IMS_FUZZ_MACHINE_GEN_HPP

@@ -1,0 +1,307 @@
+#include "fuzz/minimizer.hpp"
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ims::fuzz {
+
+namespace {
+
+/**
+ * Rebuild a loop from a subset/mutation of the original operations (still
+ * referencing the original register and array ids). Registers that are
+ * read but no longer defined are promoted to live-ins. Returns nullopt
+ * when the candidate does not validate.
+ */
+std::optional<ir::Loop>
+rebuildLoop(const ir::Loop& original, const std::vector<ir::Operation>& ops)
+{
+    if (ops.empty())
+        return std::nullopt;
+
+    std::vector<bool> referenced(original.numRegisters(), false);
+    std::vector<bool> defined(original.numRegisters(), false);
+    std::vector<bool> array_used(original.numArrays(), false);
+    for (const auto& op : ops) {
+        if (op.hasDest()) {
+            referenced[op.dest] = true;
+            defined[op.dest] = true;
+        }
+        for (const auto& src : op.sources) {
+            if (src.isRegister())
+                referenced[src.reg] = true;
+        }
+        if (op.guard)
+            referenced[op.guard->reg] = true;
+        if (op.memRef)
+            array_used[op.memRef->array] = true;
+    }
+
+    ir::Loop loop(original.name());
+    std::vector<ir::RegId> reg_map(original.numRegisters(), ir::kNoReg);
+    for (ir::RegId reg = 0; reg < original.numRegisters(); ++reg) {
+        if (!referenced[reg])
+            continue;
+        ir::RegisterInfo info = original.reg(reg);
+        if (!defined[reg])
+            info.isLiveIn = true;
+        reg_map[reg] = loop.addRegister(info);
+    }
+    std::vector<ir::ArrayId> array_map(original.numArrays(), -1);
+    for (ir::ArrayId array = 0; array < original.numArrays(); ++array) {
+        if (array_used[array])
+            array_map[array] = loop.addArray(original.arrays()[array]);
+    }
+
+    for (ir::Operation op : ops) {
+        op.id = -1;
+        if (op.hasDest())
+            op.dest = reg_map[op.dest];
+        for (auto& src : op.sources) {
+            if (src.isRegister())
+                src.reg = reg_map[src.reg];
+        }
+        if (op.guard)
+            op.guard->reg = reg_map[op.guard->reg];
+        if (op.memRef)
+            op.memRef->array = array_map[op.memRef->array];
+        loop.addOperation(std::move(op));
+    }
+
+    try {
+        loop.validate();
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+    return loop;
+}
+
+/** Rebuild a machine from explicit parts (resource ids unremapped). */
+machine::MachineModel
+rebuildMachine(const machine::MachineModel& original,
+               const std::map<ir::Opcode, machine::OpcodeInfo>& opcodes)
+{
+    std::vector<std::string> resources;
+    resources.reserve(original.numResources());
+    for (int r = 0; r < original.numResources(); ++r)
+        resources.push_back(original.resourceName(r));
+    return machine::MachineModel(original.name(), std::move(resources),
+                                 opcodes);
+}
+
+/** The opcode->info map of the real opcodes a machine implements. */
+std::map<ir::Opcode, machine::OpcodeInfo>
+opcodeMap(const machine::MachineModel& machine)
+{
+    std::map<ir::Opcode, machine::OpcodeInfo> map;
+    for (int index = 0; index < ir::kNumRealOpcodes; ++index) {
+        const auto opcode = static_cast<ir::Opcode>(index);
+        if (machine.supports(opcode))
+            map[opcode] = machine.info(opcode);
+    }
+    return map;
+}
+
+/** Drop resources no reservation table references, remapping ids. */
+std::optional<machine::MachineModel>
+dropUnusedResources(const machine::MachineModel& machine)
+{
+    std::vector<bool> used(machine.numResources(), false);
+    const auto opcodes = opcodeMap(machine);
+    for (const auto& [opcode, info] : opcodes) {
+        for (const auto& alternative : info.alternatives) {
+            for (const auto& use : alternative.table.uses())
+                used[use.resource] = true;
+        }
+    }
+
+    std::vector<machine::ResourceId> remap(machine.numResources(), -1);
+    std::vector<std::string> resources;
+    for (int r = 0; r < machine.numResources(); ++r) {
+        if (used[r]) {
+            remap[r] = static_cast<machine::ResourceId>(resources.size());
+            resources.push_back(machine.resourceName(r));
+        }
+    }
+    if (resources.empty() ||
+        static_cast<int>(resources.size()) == machine.numResources())
+        return std::nullopt; // nothing to drop (or nothing would remain)
+
+    std::map<ir::Opcode, machine::OpcodeInfo> remapped;
+    for (const auto& [opcode, info] : opcodes) {
+        machine::OpcodeInfo new_info;
+        new_info.latency = info.latency;
+        for (const auto& alternative : info.alternatives) {
+            std::vector<machine::ResourceUse> uses;
+            for (auto use : alternative.table.uses()) {
+                use.resource = remap[use.resource];
+                uses.push_back(use);
+            }
+            new_info.alternatives.push_back(
+                {alternative.name,
+                 machine::ReservationTable(std::move(uses))});
+        }
+        remapped[opcode] = std::move(new_info);
+    }
+    return machine::MachineModel(machine.name(), std::move(resources),
+                                 remapped);
+}
+
+} // namespace
+
+MinimizeResult
+minimize(const ir::Loop& loop, const machine::MachineModel& machine,
+         const core::PipelinerOptions& config, const OracleOptions& oracle)
+{
+    MinimizeResult result{loop, machine, "", "", loop.size(), loop.size(),
+                          0};
+
+    const OracleVerdict initial = runOracles(loop, machine, config, oracle);
+    ++result.candidatesTried;
+    if (!initial.failed())
+        return result; // nothing to minimize
+    result.code = initial.code;
+    result.message = initial.message;
+
+    // A candidate is accepted iff it still fails with the same code.
+    const auto fails_same = [&](const ir::Loop& l,
+                                const machine::MachineModel& m) {
+        ++result.candidatesTried;
+        const OracleVerdict verdict = runOracles(l, m, config, oracle);
+        if (verdict.code != result.code)
+            return false;
+        result.message = verdict.message;
+        return true;
+    };
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        // Pass 1: drop whole operations (the loop-closing branch stays,
+        // so the loop always remains pipelineable).
+        for (int victim = result.loop.size() - 1; victim >= 0; --victim) {
+            if (result.loop.operation(victim).isBranch())
+                continue;
+            std::vector<ir::Operation> ops;
+            for (const auto& op : result.loop.operations()) {
+                if (op.id != victim)
+                    ops.push_back(op);
+            }
+            const auto candidate = rebuildLoop(result.loop, ops);
+            if (candidate && fails_same(*candidate, result.machine)) {
+                result.loop = *candidate;
+                progress = true;
+            }
+        }
+
+        // Pass 2: simplify the surviving operations in place.
+        for (int target = 0; target < result.loop.size(); ++target) {
+            const auto mutate =
+                [&](const auto& mutation) {
+                    std::vector<ir::Operation> ops(
+                        result.loop.operations().begin(),
+                        result.loop.operations().end());
+                    if (!mutation(ops[target]))
+                        return;
+                    const auto candidate = rebuildLoop(result.loop, ops);
+                    if (candidate &&
+                        fails_same(*candidate, result.machine)) {
+                        result.loop = *candidate;
+                        progress = true;
+                    }
+                };
+            mutate([](ir::Operation& op) {
+                if (!op.guard)
+                    return false;
+                op.guard.reset();
+                return true;
+            });
+            mutate([](ir::Operation& op) {
+                if (!op.memRef || op.memRef->offset == 0)
+                    return false;
+                op.memRef->offset = 0;
+                return true;
+            });
+            for (std::size_t s = 0;
+                 s < result.loop.operation(target).sources.size(); ++s) {
+                mutate([s](ir::Operation& op) {
+                    if (s >= op.sources.size() ||
+                        !op.sources[s].isRegister())
+                        return false;
+                    op.sources[s] = ir::Operand::makeImm(1.0);
+                    return true;
+                });
+            }
+        }
+
+        // Pass 3: shrink the machine. Opcodes the loop no longer uses go
+        // first (their disappearance can never change the failure, but
+        // re-check anyway — dropping them changes nothing except the
+        // reproducer's size).
+        {
+            std::vector<bool> used_opcode(ir::kNumRealOpcodes, false);
+            for (const auto& op : result.loop.operations())
+                used_opcode[static_cast<int>(op.opcode)] = true;
+            auto opcodes = opcodeMap(result.machine);
+            bool dropped = false;
+            for (auto it = opcodes.begin(); it != opcodes.end();) {
+                if (!used_opcode[static_cast<int>(it->first)]) {
+                    it = opcodes.erase(it);
+                    dropped = true;
+                } else {
+                    ++it;
+                }
+            }
+            if (dropped) {
+                const auto candidate =
+                    rebuildMachine(result.machine, opcodes);
+                if (fails_same(result.loop, candidate)) {
+                    result.machine = candidate;
+                    progress = true;
+                }
+            }
+        }
+        for (int index = 0; index < ir::kNumRealOpcodes; ++index) {
+            const auto opcode = static_cast<ir::Opcode>(index);
+            if (!result.machine.supports(opcode))
+                continue;
+            auto opcodes = opcodeMap(result.machine);
+            auto& info = opcodes[opcode];
+            if (info.alternatives.size() > 1) {
+                auto reduced = opcodes;
+                reduced[opcode].alternatives.resize(1);
+                const auto candidate =
+                    rebuildMachine(result.machine, reduced);
+                if (fails_same(result.loop, candidate)) {
+                    result.machine = candidate;
+                    progress = true;
+                    continue;
+                }
+            }
+            if (info.latency > 1) {
+                auto reduced = opcodeMap(result.machine);
+                reduced[opcode].latency = 1;
+                const auto candidate =
+                    rebuildMachine(result.machine, reduced);
+                if (fails_same(result.loop, candidate)) {
+                    result.machine = candidate;
+                    progress = true;
+                }
+            }
+        }
+        if (const auto candidate = dropUnusedResources(result.machine)) {
+            if (fails_same(result.loop, *candidate)) {
+                result.machine = *candidate;
+                progress = true;
+            }
+        }
+    }
+
+    result.minimizedOps = result.loop.size();
+    return result;
+}
+
+} // namespace ims::fuzz

@@ -1,0 +1,53 @@
+#ifndef IMS_FUZZ_MINIMIZER_HPP
+#define IMS_FUZZ_MINIMIZER_HPP
+
+#include <string>
+
+#include "core/pipeliner.hpp"
+#include "fuzz/oracles.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ims::fuzz {
+
+/** Outcome of delta-debugging one failing case. */
+struct MinimizeResult
+{
+    /** The smallest (loop, machine) pair still failing with `code`. */
+    ir::Loop loop;
+    machine::MachineModel machine;
+    /** The preserved failure identity (empty if the input was clean). */
+    std::string code;
+    /** Failure message of the minimized case. */
+    std::string message;
+    int originalOps = 0;
+    int minimizedOps = 0;
+    /** Candidate evaluations spent (each one full oracle run). */
+    int candidatesTried = 0;
+};
+
+/**
+ * Shrink a failing (loop, machine, config) triple while re-running the
+ * failing oracle after every mutation, keeping only mutations that
+ * preserve the exact failure code (so the reduced case fails for the
+ * same reason, not merely *a* reason). Greedy passes to a fixed point:
+ *
+ *  - drop operations (never the loop-closing branch); registers whose
+ *    definition disappears but are still read become live-ins;
+ *  - simplify operations: drop guards, replace register operands with
+ *    immediates, zero memory offsets;
+ *  - shrink the machine: drop opcodes the loop no longer uses, drop all
+ *    but one alternative per opcode, collapse latencies to 1, drop
+ *    resources no reservation table references.
+ *
+ * Deterministic in its arguments. If the input does not fail at all,
+ * returns it unchanged with an empty `code`.
+ */
+MinimizeResult minimize(const ir::Loop& loop,
+                        const machine::MachineModel& machine,
+                        const core::PipelinerOptions& config,
+                        const OracleOptions& oracle);
+
+} // namespace ims::fuzz
+
+#endif // IMS_FUZZ_MINIMIZER_HPP

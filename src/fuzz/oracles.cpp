@@ -1,0 +1,74 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+#include "mii/mii.hpp"
+
+namespace ims::fuzz {
+
+OracleVerdict
+runOracles(const ir::Loop& loop, const machine::MachineModel& machine,
+           const core::PipelinerOptions& config, const OracleOptions& oracle)
+{
+    OracleVerdict verdict;
+
+    core::PipelinerOptions options = config;
+    options.verify = true;
+    options.verifySim = true;
+    options.verifySimTrips = oracle.trips;
+    options.verifySimSeed = oracle.simSeed;
+
+    try {
+        const core::SoftwarePipeliner pipeliner(machine, options);
+        core::PipelineResult result =
+            pipeliner.pipeline(core::PipelineRequest(loop));
+
+        verdict.ii = result.telemetry.ii;
+        verdict.mii = result.telemetry.mii;
+        verdict.diagnostics = result.diagnostics;
+
+        if (!result.ok()) {
+            for (const auto& diagnostic : result.diagnostics) {
+                if (diagnostic.severity !=
+                    core::Diagnostic::Severity::kError)
+                    continue;
+                verdict.code = diagnostic.code.empty() ? "error.unknown"
+                                                       : diagnostic.code;
+                verdict.message = diagnostic.message;
+                break;
+            }
+            if (verdict.code.empty()) {
+                verdict.code = "error.unknown";
+                verdict.message = "pipeline failed without diagnostics";
+            }
+            return verdict;
+        }
+
+        // MII sanity, independent of the production MII protocol: a
+        // verified-legal schedule whose II undercuts the true lower
+        // bound means a bound (or the verifier) is wrong.
+        const auto& artifacts = *result.artifacts;
+        const graph::SccResult sccs = graph::findSccs(artifacts.depGraph);
+        const int true_rec =
+            mii::computeTrueRecMii(artifacts.depGraph, sccs);
+        const int bound = std::max(artifacts.outcome.resMii, true_rec);
+        if (artifacts.outcome.schedule.ii < bound) {
+            verdict.code = "mii.below_bound";
+            verdict.message =
+                "achieved II " +
+                std::to_string(artifacts.outcome.schedule.ii) +
+                " below max(ResMII " +
+                std::to_string(artifacts.outcome.resMii) +
+                ", true RecMII " + std::to_string(true_rec) + ")";
+        }
+    } catch (const std::exception& error) {
+        // pipeline() reports its own failures via diagnostics; anything
+        // escaping it (or the MII recomputation) is itself a finding.
+        verdict.code = "crash.exception";
+        verdict.message = error.what();
+    }
+    return verdict;
+}
+
+} // namespace ims::fuzz

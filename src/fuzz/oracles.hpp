@@ -1,0 +1,71 @@
+#ifndef IMS_FUZZ_ORACLES_HPP
+#define IMS_FUZZ_ORACLES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeliner.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+
+namespace ims::fuzz {
+
+/** Configuration of the per-case oracle stack. */
+struct OracleOptions
+{
+    /**
+     * Trip counts for the sim-equivalence oracle: 0 and 1 exercise the
+     * degenerate entry paths, the small values usually sit below the
+     * stage count (prologue/epilogue bypass; kernel-only still runs),
+     * and 17 reaches pipelined steady state.
+     */
+    std::vector<int> trips = {0, 1, 2, 5, 17};
+    /** Seed for the simulated input data. */
+    std::uint64_t simSeed = 1;
+};
+
+/**
+ * Outcome of running the full oracle stack on one (loop, machine,
+ * config) triple. `code` is the machine-readable failure identity (see
+ * core::Diagnostic::code, plus "mii.below_bound" from the MII-sanity
+ * oracle); empty means every oracle passed.
+ */
+struct OracleVerdict
+{
+    std::string code;
+    std::string message;
+    /** Everything the pipeline run reported (may outnumber `code`). */
+    std::vector<core::Diagnostic> diagnostics;
+    /** Telemetry extracts for campaign reporting (-1 before scheduling). */
+    int ii = -1;
+    int mii = -1;
+
+    bool failed() const { return !code.empty(); }
+};
+
+/**
+ * Run every oracle on one case:
+ *
+ *  1. the production pipeline with structural verification on
+ *     (sched::verifySchedule → "verify.*" codes) and the sim-equivalence
+ *     oracle on ("sim.mismatch" / "sim.error" codes; sequential
+ *     interpreter vs flat-schedule, prologue/kernel/epilogue and
+ *     kernel-only engines at every configured trip count);
+ *  2. crash/diagnostic capture: any phase that throws becomes an
+ *     "error.<phase>" finding instead of an escaping exception;
+ *  3. MII sanity: the achieved II must be >= max(ResMII, true RecMII),
+ *     with the true RecMII recomputed independently of the scheduler's
+ *     production MII protocol ("mii.below_bound" on violation).
+ *
+ * Deterministic in its arguments; safe to call concurrently (shared
+ * state is read-only).
+ */
+OracleVerdict runOracles(const ir::Loop& loop,
+                         const machine::MachineModel& machine,
+                         const core::PipelinerOptions& config,
+                         const OracleOptions& oracle);
+
+} // namespace ims::fuzz
+
+#endif // IMS_FUZZ_ORACLES_HPP

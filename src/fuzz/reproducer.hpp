@@ -1,0 +1,52 @@
+#ifndef IMS_FUZZ_REPRODUCER_HPP
+#define IMS_FUZZ_REPRODUCER_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace ims::fuzz {
+
+/**
+ * A standalone, replayable failing case: the minimized loop and machine
+ * in their textual formats plus the failure identity and the seeds that
+ * found it. Everything needed to re-run the oracles lives in the file;
+ * `ims_fuzz --replay <file>` does exactly that.
+ */
+struct ReproducerCase
+{
+    /** Expected failure code (core::Diagnostic::code vocabulary). */
+    std::string code;
+    /** Failure message at the time of capture (informational). */
+    std::string message;
+    std::uint64_t campaignSeed = 0;
+    std::uint64_t caseIndex = 0;
+    /** Per-case rng seed (loop/machine generation). */
+    std::uint64_t caseSeed = 0;
+    /** Seed of the simulated input data (OracleOptions::simSeed). */
+    std::uint64_t simSeed = 0;
+    /** machine::printMachine text. */
+    std::string machineText;
+    /** ir::printLoop text. */
+    std::string loopText;
+};
+
+/**
+ * Render/parse the reproducer file format: `key: value` header lines,
+ * then the machine description after a `%% machine` separator and the
+ * loop after `%% loop`. parseReproducer throws support::Error on
+ * malformed input.
+ */
+std::string renderReproducer(const ReproducerCase& repro);
+ReproducerCase parseReproducer(const std::string& text);
+
+/** Canonical file name: "fuzz_s<campaign seed>_c<case index>.repro". */
+std::string reproducerFileName(std::uint64_t campaign_seed,
+                               std::uint64_t case_index);
+
+/** Whole-file helpers (throw support::Error on I/O failure). */
+void writeTextFile(const std::string& path, const std::string& contents);
+std::string readTextFile(const std::string& path);
+
+} // namespace ims::fuzz
+
+#endif // IMS_FUZZ_REPRODUCER_HPP

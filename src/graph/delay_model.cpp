@@ -1,8 +1,27 @@
 #include "graph/delay_model.hpp"
 
+#include <atomic>
 #include <cassert>
 
 namespace ims::graph {
+
+namespace {
+
+std::atomic<bool> g_delay_fault{false};
+
+} // namespace
+
+void
+setDelayFaultForTesting(bool enabled)
+{
+    g_delay_fault.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+delayFaultForTesting()
+{
+    return g_delay_fault.load(std::memory_order_relaxed);
+}
 
 int
 dependenceDelay(DepKind kind, int pred_latency, int succ_latency,

@@ -35,6 +35,20 @@ enum class DelayMode { kExact, kConservative };
 int dependenceDelay(DepKind kind, int pred_latency, int succ_latency,
                     DelayMode mode);
 
+/**
+ * TEST HOOK — deliberately broken delay formula for fuzz-oracle
+ * self-checks. When enabled, flow dependences carried through memory are
+ * given delay 0 instead of the predecessor's latency, so a store and a
+ * dependent load may be packed into the same cycle and the load samples
+ * stale memory: a realistic miscompilation that structural legality
+ * checks cannot see but the end-to-end sim-equivalence oracle must catch.
+ * Never enable outside tests / `ims-fuzz --inject-delay-fault`.
+ */
+void setDelayFaultForTesting(bool enabled);
+
+/** Current state of the test hook (read by the graph builder). */
+bool delayFaultForTesting();
+
 } // namespace ims::graph
 
 #endif // IMS_GRAPH_DELAY_MODEL_HPP

@@ -44,6 +44,9 @@ buildDepGraph(const ir::Loop& loop, const machine::MachineModel& machine,
         edge.distance = distance;
         edge.delay = dependenceDelay(kind, latency(from), latency(to),
                                      options.delayMode);
+        if (delayFaultForTesting() && kind == DepKind::kFlow &&
+            through_memory)
+            edge.delay = 0; // injected bug (see setDelayFaultForTesting)
         edge.throughMemory = through_memory;
         graph.addEdge(edge);
     };

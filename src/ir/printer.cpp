@@ -1,0 +1,134 @@
+#include "ir/printer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ims::ir {
+
+namespace {
+
+/** Shortest decimal form that round-trips the double through parsing. */
+std::string
+formatImmediate(double value)
+{
+    char buffer[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+        double reparsed = 0.0;
+        std::sscanf(buffer, "%lf", &reparsed);
+        if (reparsed == value ||
+            (std::isnan(reparsed) && std::isnan(value)))
+            break;
+    }
+    return buffer;
+}
+
+std::string
+operandText(const Loop& loop, const Operand& operand)
+{
+    if (!operand.isRegister())
+        return "#" + formatImmediate(operand.immediate);
+    std::string text = loop.reg(operand.reg).name;
+    if (operand.distance > 0)
+        text += "[" + std::to_string(operand.distance) + "]";
+    return text;
+}
+
+} // namespace
+
+std::string
+printLoop(const Loop& loop)
+{
+    std::ostringstream out;
+    out << "loop " << loop.name() << "\n";
+
+    // Declarations: only live-in registers need declaring (the parser
+    // creates plain registers and arrays on first mention). "recurrence"
+    // and "livein" are synonyms; use the former when the register is also
+    // defined in the body, matching hand-written kernels.
+    for (RegId reg = 0; reg < loop.numRegisters(); ++reg) {
+        const RegisterInfo& info = loop.reg(reg);
+        if (!info.isLiveIn)
+            continue;
+        if (info.isPredicate)
+            out << "predicate " << info.name << "\n";
+        else if (loop.definingOp(reg) >= 0)
+            out << "recurrence " << info.name << "\n";
+        else
+            out << "livein " << info.name << "\n";
+    }
+
+    for (const Operation& op : loop.operations()) {
+        out << (op.hasDest() ? loop.reg(op.dest).name : std::string("_"))
+            << " = " << opcodeName(op.opcode);
+        for (std::size_t i = 0; i < op.sources.size(); ++i) {
+            out << (i == 0 ? " " : ", ")
+                << operandText(loop, op.sources[i]);
+        }
+        if (op.memRef) {
+            out << " @ " << loop.arrays()[op.memRef->array].name << " "
+                << op.memRef->offset;
+            if (op.memRef->stride != 1)
+                out << " " << op.memRef->stride;
+        }
+        if (op.guard)
+            out << " if " << operandText(loop, *op.guard);
+        out << "\n";
+    }
+    return out.str();
+}
+
+bool
+equivalentLoops(const Loop& a, const Loop& b)
+{
+    if (a.size() != b.size())
+        return false;
+
+    auto same_operand = [&](const Operand& x, const Operand& y) {
+        if (x.kind != y.kind)
+            return false;
+        if (!x.isRegister()) {
+            return x.immediate == y.immediate ||
+                   (std::isnan(x.immediate) && std::isnan(y.immediate));
+        }
+        const RegisterInfo& rx = a.reg(x.reg);
+        const RegisterInfo& ry = b.reg(y.reg);
+        return x.distance == y.distance && rx.name == ry.name &&
+               rx.isPredicate == ry.isPredicate &&
+               rx.isLiveIn == ry.isLiveIn;
+    };
+
+    for (OpId id = 0; id < a.size(); ++id) {
+        const Operation& x = a.operation(id);
+        const Operation& y = b.operation(id);
+        if (x.opcode != y.opcode || x.hasDest() != y.hasDest())
+            return false;
+        if (x.hasDest() &&
+            (a.reg(x.dest).name != b.reg(y.dest).name ||
+             a.reg(x.dest).isPredicate != b.reg(y.dest).isPredicate))
+            return false;
+        if (x.sources.size() != y.sources.size())
+            return false;
+        for (std::size_t k = 0; k < x.sources.size(); ++k) {
+            if (!same_operand(x.sources[k], y.sources[k]))
+                return false;
+        }
+        if (x.guard.has_value() != y.guard.has_value())
+            return false;
+        if (x.guard && !same_operand(*x.guard, *y.guard))
+            return false;
+        if (x.memRef.has_value() != y.memRef.has_value())
+            return false;
+        if (x.memRef) {
+            if (a.arrays()[x.memRef->array].name !=
+                    b.arrays()[y.memRef->array].name ||
+                x.memRef->offset != y.memRef->offset ||
+                x.memRef->stride != y.memRef->stride)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ims::ir

@@ -1,0 +1,37 @@
+#ifndef IMS_IR_PRINTER_HPP
+#define IMS_IR_PRINTER_HPP
+
+#include <string>
+
+#include "ir/loop.hpp"
+
+namespace ims::ir {
+
+/**
+ * Render `loop` in the textual mini-IR format accepted by parseLoop
+ * (the inverse of the parser; see parser.hpp for the grammar).
+ *
+ * The output is canonical and deterministic: declarations come first
+ * (live-ins, predicates and recurrences in register-id order, arrays in
+ * array-id order), operations follow in body order, and immediates are
+ * printed with enough digits to round-trip IEEE doubles exactly. For every
+ * valid loop, `parseLoop(printLoop(loop))` is semantically identical to
+ * `loop` (same operations, operands, guards and memory references under
+ * name-based register/array matching; see equivalentLoops). This is what
+ * fuzz reproducer emission and the repro replay path rely on.
+ */
+std::string printLoop(const Loop& loop);
+
+/**
+ * Semantic equality of two loops under name-based symbol matching: same
+ * operation sequence (opcode, destination name, operand values/distances,
+ * guard, memory reference incl. array name, offset and stride) and the
+ * same register declarations (live-in/predicate flags of referenced
+ * registers). Array/register *ids* may differ; unreferenced symbols are
+ * ignored. Used by the round-trip property tests.
+ */
+bool equivalentLoops(const Loop& a, const Loop& b);
+
+} // namespace ims::ir
+
+#endif // IMS_IR_PRINTER_HPP

@@ -1,0 +1,36 @@
+#ifndef IMS_MACHINE_MACHINE_IO_HPP
+#define IMS_MACHINE_MACHINE_IO_HPP
+
+#include <string>
+
+#include "machine/machine_model.hpp"
+
+namespace ims::machine {
+
+/**
+ * Render a machine description in a textual format parseable by
+ * parseMachine (line oriented; ';' starts a comment):
+ *
+ *   machine <name>                      -- required first directive
+ *   resource <name>                     -- declaration order = ResourceId
+ *   opcode <mnemonic> <latency>         -- begins an opcode block
+ *   alt <name> [<time>:<resource>...]   -- one alternative of the opcode,
+ *                                          empty use list allowed
+ *
+ * printMachine/parseMachine round-trip exactly (reservation tables are
+ * stored normalised), which is what fuzz reproducers rely on to replay a
+ * failing case on the machine that produced it. Resource and alternative
+ * names must not contain whitespace or ':'.
+ */
+std::string printMachine(const MachineModel& machine);
+
+/**
+ * Parse the textual machine format back into a MachineModel.
+ * @throws support::Error with a line number on any syntax violation,
+ *         unknown opcode/resource, or duplicate declaration.
+ */
+MachineModel parseMachine(const std::string& text);
+
+} // namespace ims::machine
+
+#endif // IMS_MACHINE_MACHINE_IO_HPP

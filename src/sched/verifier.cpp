@@ -6,22 +6,75 @@
 
 namespace ims::sched {
 
-std::vector<std::string>
+std::string
+violationKindName(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::kBadIi:
+        return "bad_ii";
+      case ViolationKind::kShapeMismatch:
+        return "shape_mismatch";
+      case ViolationKind::kNegativeTime:
+        return "negative_time";
+      case ViolationKind::kInvalidAlternative:
+        return "invalid_alternative";
+      case ViolationKind::kDependence:
+        return "dependence";
+      case ViolationKind::kSelfConflict:
+        return "self_conflict";
+      case ViolationKind::kResourceConflict:
+        return "resource_conflict";
+    }
+    return "unknown";
+}
+
+std::string
+Violation::toString() const
+{
+    std::ostringstream out;
+    switch (kind) {
+      case ViolationKind::kBadIi:
+        out << "II must be at least 1";
+        break;
+      case ViolationKind::kShapeMismatch:
+        out << "schedule arrays do not match the loop size";
+        break;
+      case ViolationKind::kNegativeTime:
+        out << "operation " << op << " scheduled at negative time " << time;
+        break;
+      case ViolationKind::kInvalidAlternative:
+        out << "operation " << op << " has an invalid alternative index";
+        break;
+      case ViolationKind::kDependence:
+        out << "dependence violated: " << other << " -> " << op
+            << " (edge " << edge << "): t(" << op << ")=" << time << " < "
+            << required;
+        break;
+      case ViolationKind::kSelfConflict:
+        out << "operation " << op
+            << " uses an alternative that self-conflicts at this II";
+        break;
+      case ViolationKind::kResourceConflict:
+        out << "resource conflict between operations " << op << " and "
+            << other;
+        break;
+    }
+    return out.str();
+}
+
+std::vector<Violation>
 verifySchedule(const ir::Loop& loop, const machine::MachineModel& machine,
                const graph::DepGraph& graph, const ScheduleResult& schedule)
 {
-    std::vector<std::string> violations;
-    auto complain = [&violations](const std::string& message) {
-        violations.push_back(message);
-    };
+    std::vector<Violation> violations;
 
     if (schedule.ii < 1) {
-        complain("II must be at least 1");
+        violations.push_back({ViolationKind::kBadIi});
         return violations;
     }
     if (static_cast<int>(schedule.times.size()) != loop.size() ||
         static_cast<int>(schedule.alternatives.size()) != loop.size()) {
-        complain("schedule arrays do not match the loop size");
+        violations.push_back({ViolationKind::kShapeMismatch});
         return violations;
     }
 
@@ -36,31 +89,31 @@ verifySchedule(const ir::Loop& loop, const machine::MachineModel& machine,
     };
 
     for (int op = 0; op < loop.size(); ++op) {
-        if (schedule.times[op] < 0)
-            complain("operation " + std::to_string(op) +
-                     " scheduled at negative time");
+        if (schedule.times[op] < 0) {
+            violations.push_back({ViolationKind::kNegativeTime, op, -1, -1,
+                                  schedule.times[op]});
+        }
         const auto& info = machine.info(loop.operation(op).opcode);
         if (schedule.alternatives[op] < 0 ||
             schedule.alternatives[op] >=
                 static_cast<int>(info.alternatives.size())) {
-            complain("operation " + std::to_string(op) +
-                     " has an invalid alternative index");
+            violations.push_back(
+                {ViolationKind::kInvalidAlternative, op, -1, -1,
+                 schedule.times[op]});
             return violations;
         }
     }
 
     // Dependence constraints.
-    for (const auto& edge : graph.edges()) {
+    for (graph::EdgeId id = 0; id < graph.numEdges(); ++id) {
+        const auto& edge = graph.edge(id);
         const std::int64_t earliest =
             static_cast<std::int64_t>(time_of(edge.from)) + edge.delay -
             static_cast<std::int64_t>(schedule.ii) * edge.distance;
         if (time_of(edge.to) < earliest) {
-            std::ostringstream out;
-            out << "dependence violated: " << edge.from << " -> " << edge.to
-                << " (" << graph::depKindName(edge.kind) << ", delay "
-                << edge.delay << ", distance " << edge.distance << "): t("
-                << edge.to << ")=" << time_of(edge.to) << " < " << earliest;
-            complain(out.str());
+            violations.push_back({ViolationKind::kDependence, edge.to,
+                                  edge.from, id, time_of(edge.to),
+                                  earliest});
         }
     }
 
@@ -73,17 +126,15 @@ verifySchedule(const ir::Loop& loop, const machine::MachineModel& machine,
                                 .alternatives[schedule.alternatives[op]]
                                 .table;
         if (ModuloReservationTable::selfConflicts(table, schedule.ii)) {
-            complain("operation " + std::to_string(op) +
-                     " uses an alternative that self-conflicts at II " +
-                     std::to_string(schedule.ii));
+            violations.push_back({ViolationKind::kSelfConflict, op, -1, -1,
+                                  schedule.times[op]});
             continue;
         }
         if (mrt.conflicts(table, schedule.times[op])) {
             for (int other :
                  mrt.conflictingOps(table, schedule.times[op])) {
-                complain("resource conflict between operations " +
-                         std::to_string(op) + " and " +
-                         std::to_string(other));
+                violations.push_back({ViolationKind::kResourceConflict, op,
+                                      other, -1, schedule.times[op]});
             }
             continue;
         }

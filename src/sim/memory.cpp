@@ -10,7 +10,7 @@ namespace ims::sim {
 Memory::Memory(const ir::Loop& loop, int trip_count, int margin)
     : tripCount_(trip_count), margin_(margin)
 {
-    assert(trip_count >= 1 && margin >= 0);
+    assert(trip_count >= 0 && margin >= 0);
     int max_stride = 1;
     for (const auto& op : loop.operations()) {
         if (op.memRef)
@@ -81,6 +81,30 @@ Memory::operator==(const Memory& other) const
         }
     }
     return true;
+}
+
+std::string
+Memory::firstDifference(const Memory& other) const
+{
+    if (tripCount_ != other.tripCount_ || margin_ != other.margin_ ||
+        arrays_.size() != other.arrays_.size()) {
+        return "memory shapes differ";
+    }
+    for (std::size_t a = 0; a < arrays_.size(); ++a) {
+        if (arrays_[a].size() != other.arrays_[a].size())
+            return "array " + std::to_string(a) + " sizes differ";
+        for (std::size_t k = 0; k < arrays_[a].size(); ++k) {
+            if (!sameValue(arrays_[a][k], other.arrays_[a][k])) {
+                const long long logical =
+                    static_cast<long long>(k) - margin_;
+                return "array " + std::to_string(a) + " logical index " +
+                       std::to_string(logical) + ": " +
+                       std::to_string(arrays_[a][k]) + " vs " +
+                       std::to_string(other.arrays_[a][k]);
+            }
+        }
+    }
+    return "";
 }
 
 } // namespace ims::sim

@@ -45,6 +45,13 @@ class Memory
     /** Exact content equality with another Memory of identical shape. */
     bool operator==(const Memory& other) const;
 
+    /**
+     * Description of the first differing cell ("array 2 logical index -1:
+     * 0.5 vs 1.5"), or "" when equal. Shape mismatches are reported as
+     * such. NaN-tolerant like operator== (bit-identical NaNs are equal).
+     */
+    std::string firstDifference(const Memory& other) const;
+
   private:
     std::size_t cellIndex(ir::ArrayId array, int index) const;
 

@@ -26,7 +26,7 @@ runPipelined(const ir::Loop& loop, const sched::ScheduleResult& schedule,
              const SimSpec& spec)
 {
     loop.validate();
-    support::check(spec.tripCount >= 1, "trip count must be at least 1");
+    support::check(spec.tripCount >= 0, "trip count must be non-negative");
     support::check(static_cast<int>(schedule.times.size()) == loop.size(),
                    "schedule does not match the loop");
 
@@ -37,6 +37,8 @@ runPipelined(const ir::Loop& loop, const sched::ScheduleResult& schedule,
                 memory.init(array, init.first, init.second);
         }
     }
+    if (spec.tripCount == 0)
+        return PipelineResult{SimResult{std::move(memory), {}, 0}, 0};
     RegisterFile registers(loop, spec, spec.tripCount);
 
     // Enumerate all dynamic instances and order them by issue cycle.

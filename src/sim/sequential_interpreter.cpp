@@ -22,11 +22,36 @@ equivalent(const SimResult& a, const SimResult& b)
     return true;
 }
 
+std::string
+describeDifference(const SimResult& a, const SimResult& b)
+{
+    if (a.executedIterations != b.executedIterations) {
+        return "executed iterations " +
+               std::to_string(a.executedIterations) + " vs " +
+               std::to_string(b.executedIterations);
+    }
+    const std::string memory = a.memory.firstDifference(b.memory);
+    if (!memory.empty())
+        return memory;
+    if (a.finalRegisters.size() != b.finalRegisters.size())
+        return "final register sets differ in size";
+    for (const auto& [name, value] : a.finalRegisters) {
+        const auto it = b.finalRegisters.find(name);
+        if (it == b.finalRegisters.end())
+            return "register '" + name + "' missing from second state";
+        if (!sameValue(value, it->second)) {
+            return "register '" + name + "': " + std::to_string(value) +
+                   " vs " + std::to_string(it->second);
+        }
+    }
+    return "";
+}
+
 SimResult
 runSequential(const ir::Loop& loop, const SimSpec& spec)
 {
     loop.validate();
-    support::check(spec.tripCount >= 1, "trip count must be at least 1");
+    support::check(spec.tripCount >= 0, "trip count must be non-negative");
 
     Memory memory(loop, spec.tripCount, spec.margin);
     for (const auto& [name, init] : spec.arrays) {
@@ -35,6 +60,8 @@ runSequential(const ir::Loop& loop, const SimSpec& spec)
                 memory.init(array, init.first, init.second);
         }
     }
+    if (spec.tripCount == 0)
+        return SimResult{std::move(memory), {}, 0};
 
     RegisterFile registers(loop, spec, spec.tripCount);
 

@@ -14,7 +14,12 @@ namespace ims::sim {
 /** Input state for simulating a loop. */
 struct SimSpec
 {
-    /** Number of iterations to execute (>= 1). */
+    /**
+     * Number of iterations to execute (>= 0). A zero trip count executes
+     * nothing: the result is the initial memory image with no final
+     * registers (both engines agree on this, so 0-trip equivalence checks
+     * exercise the "loop body never entered" paths).
+     */
     int tripCount = 16;
     /** Memory margin on both sides of [0, tripCount) (see Memory). */
     int margin = 8;
@@ -57,6 +62,14 @@ struct SimResult
  * check that a pipelined execution preserved the loop's semantics.
  */
 bool equivalent(const SimResult& a, const SimResult& b);
+
+/**
+ * Human-readable description of the first difference between two final
+ * states ("" when equivalent): executed-iteration counts, memory contents,
+ * then register values. Used by the sim-equivalence oracle to produce
+ * actionable diagnostics.
+ */
+std::string describeDifference(const SimResult& a, const SimResult& b);
 
 /**
  * Reference semantics: execute the loop iteration by iteration, operations

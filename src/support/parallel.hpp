@@ -1,0 +1,69 @@
+#ifndef IMS_SUPPORT_PARALLEL_HPP
+#define IMS_SUPPORT_PARALLEL_HPP
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ims::support {
+
+/**
+ * Resolve a thread-count request: <= 0 means "use the hardware
+ * concurrency", and the result is clamped to [1, work_items] so small
+ * workloads never spawn idle threads.
+ */
+inline int
+resolveThreads(int requested, std::size_t work_items)
+{
+    int threads = requested;
+    if (threads <= 0)
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    const int max_useful = std::max(1, static_cast<int>(work_items));
+    return std::clamp(threads, 1, max_useful);
+}
+
+/**
+ * Run `body(index)` for every index in [0, count) on up to `threads`
+ * workers (already resolved via resolveThreads). Indices are handed out
+ * by an atomic claim counter, so *which* worker runs an index is racy,
+ * but results are deterministic whenever each body invocation reads only
+ * shared immutable state and writes only its own pre-sized slot — the
+ * contract both the batch pipeliner and the fuzz campaign driver follow
+ * (verified under -fsanitize=thread, scripts/check_tsan.sh).
+ *
+ * `body` must not throw: workers run with no exception barrier, so an
+ * escaping exception terminates the process. Catch inside the body and
+ * record the failure in the slot instead.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t count, int threads, const Body& body)
+{
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&body, &next, count] {
+            while (true) {
+                const std::size_t index =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (index >= count)
+                    return;
+                body(index);
+            }
+        });
+    }
+    for (auto& worker : workers)
+        worker.join();
+}
+
+} // namespace ims::support
+
+#endif // IMS_SUPPORT_PARALLEL_HPP

@@ -349,4 +349,24 @@ generateLoop(support::Rng& rng, const std::string& name,
     return builder.generate();
 }
 
+GeneratorProfile
+fuzzProfile()
+{
+    GeneratorProfile profile;
+    profile.pInit = 0.10;
+    profile.pStreaming = 0.30;
+    profile.pReduction = 0.15;
+    profile.pRecurrence = 0.25;
+    profile.pPredicated = 0.20;
+    profile.pRawReduction = 0.50;
+    profile.pRawCounter = 0.15;
+    profile.pExpensiveOp = 0.15;
+    profile.pMemRecurrence = 0.40;
+    profile.pSmall = 0.70;
+    profile.pMedium = 0.26;
+    profile.pLarge = 0.04;
+    profile.pHuge = 0.0;
+    return profile;
+}
+
 } // namespace ims::workloads

@@ -50,6 +50,15 @@ struct GeneratorProfile
 ir::Loop generateLoop(support::Rng& rng, const std::string& name,
                       const GeneratorProfile& profile = {});
 
+/**
+ * Profile tuned for fuzzing rather than corpus calibration: bodies stay
+ * small (fast cases, small reproducers before minimization even starts)
+ * while the structurally interesting categories — recurrences (including
+ * memory-carried ones), predicated bodies, expensive-op mixes — are
+ * drawn far more often than their Table 3 frequency.
+ */
+GeneratorProfile fuzzProfile();
+
 } // namespace ims::workloads
 
 #endif // IMS_WORKLOADS_RANDOM_LOOPS_HPP

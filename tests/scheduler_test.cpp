@@ -125,7 +125,7 @@ TEST(ModuloSchedulerTest, AllKernelsScheduleAndVerify)
         const auto violations = sched::verifySchedule(
             w.loop, machine, graph, outcome.schedule);
         EXPECT_TRUE(violations.empty())
-            << w.loop.name() << ": " << violations.front();
+            << w.loop.name() << ": " << violations.front().toString();
     }
 }
 

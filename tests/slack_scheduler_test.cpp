@@ -31,7 +31,7 @@ TEST(SlackSchedulerTest, AllKernelsScheduleVerifyAndSimulate)
         const auto violations = sched::verifySchedule(
             w.loop, machine, g, outcome.schedule);
         ASSERT_TRUE(violations.empty())
-            << w.loop.name() << ": " << violations.front();
+            << w.loop.name() << ": " << violations.front().toString();
 
         const auto spec = workloads::makeSimSpec(w.loop, 25, 77);
         const auto seq = sim::runSequential(w.loop, spec);
@@ -73,7 +73,7 @@ TEST(SlackSchedulerTest, RandomLoopsProperty)
         const auto violations =
             sched::verifySchedule(loop, machine, g, outcome.schedule);
         ASSERT_TRUE(violations.empty())
-            << loop.name() << ": " << violations.front();
+            << loop.name() << ": " << violations.front().toString();
 
         const auto spec = workloads::makeSimSpec(loop, 15, 5);
         const auto seq = sim::runSequential(loop, spec);

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 
+#include "ir/printer.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "workloads/corpus.hpp"
 #include "workloads/kernels.hpp"
@@ -150,6 +154,45 @@ TEST(ProfileModelTest, DeterministicAndRoughly45PercentExecuted)
     }
     EXPECT_GT(executed, 1327 * 0.35);
     EXPECT_LT(executed, 1327 * 0.55);
+}
+
+/**
+ * FNV-1a 64-bit hash of the canonical printed form of `count` generated
+ * loops. Any change to the generator's draw sequence, the profile
+ * defaults, or the printer shows up here.
+ */
+std::uint64_t
+generatorHash(std::uint64_t seed, const workloads::GeneratorProfile& profile,
+              int count)
+{
+    support::Rng rng(seed);
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (int i = 0; i < count; ++i) {
+        const std::string text = ir::printLoop(
+            workloads::generateLoop(rng, "g" + std::to_string(i), profile));
+        for (const char c : text) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 1099511628211ULL;
+        }
+    }
+    return hash;
+}
+
+// Golden hashes pin generateLoop's output for fixed seeds. Fuzz
+// campaigns, minimized reproducers, and CI smoke runs all replay by
+// regenerating cases from their recorded seeds, so the generator must
+// stay bit-stable across platforms and refactors. If this test fails
+// because of a DELIBERATE generator change, update the constants and
+// expect recorded fuzz case seeds to map to different cases.
+TEST(RandomLoopsTest, GeneratorIsSeedStable)
+{
+    const workloads::GeneratorProfile corpus;
+    const workloads::GeneratorProfile fuzz = workloads::fuzzProfile();
+    EXPECT_EQ(generatorHash(1, corpus, 20), 0xcbe95bbf363d48d1ULL);
+    EXPECT_EQ(generatorHash(2, corpus, 20), 0x382fe3319c15ea8eULL);
+    EXPECT_EQ(generatorHash(1994, corpus, 20), 0x404ecae308e7bb0aULL);
+    EXPECT_EQ(generatorHash(1, fuzz, 20), 0x69878d93d060cc10ULL);
+    EXPECT_EQ(generatorHash(404, fuzz, 20), 0xdfb81c434680b470ULL);
 }
 
 TEST(ProfileModelTest, ExecutionTimeFormula)

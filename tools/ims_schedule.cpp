@@ -18,6 +18,10 @@
  *   --trace                  print the per-step scheduling trace
  *   --telemetry              print the per-loop telemetry record as JSON
  *   --simulate <trip>        validate against the sequential semantics
+ *   --verify                 run the full verification stack (structural
+ *                            schedule check + sim-equivalence oracle over
+ *                            several trip counts) and report violations
+ *                            as structured diagnostics
  *   --quiet                  one summary line per loop only
  */
 #include <cstring>
@@ -51,6 +55,7 @@ struct CliOptions
     bool kernelOnly = false;
     bool trace = false;
     bool telemetry = false;
+    bool verify = false;
     int simulateTrip = 0;
     bool quiet = false;
     bool listKernels = false;
@@ -68,7 +73,7 @@ usage(int code)
            "  --budget-ratio <r>   --priority "
            "heightr|slack|source-order|random\n"
            "  --listing  --kernel-only  --trace  --telemetry  "
-           "--simulate <trip>  --quiet\n";
+           "--simulate <trip>  --verify  --quiet\n";
     std::exit(code);
 }
 
@@ -131,6 +136,8 @@ parseArgs(int argc, char** argv)
             options.telemetry = true;
         else if (arg == "--simulate")
             options.simulateTrip = std::stoi(next("a trip count"));
+        else if (arg == "--verify")
+            options.verify = true;
         else if (arg == "--quiet")
             options.quiet = true;
         else if (arg == "--list-kernels")
@@ -174,6 +181,8 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
     pipeline_options.schedule.budgetRatio = options.budgetRatio;
     pipeline_options.schedule.inner.priority =
         priorityByName(options.priority);
+    if (options.verify)
+        pipeline_options.withSimVerification(true);
     std::vector<sched::TraceEvent> trace;
     if (options.trace)
         pipeline_options.schedule.inner.trace = &trace;
@@ -187,8 +196,10 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
                                   core::Diagnostic::Severity::kError
                               ? "error"
                               : "warning")
-                      << " [" << diagnostic.phase
-                      << "]: " << diagnostic.message << "\n";
+                      << " [" << diagnostic.phase << "]";
+            if (!diagnostic.code.empty())
+                std::cerr << " <" << diagnostic.code << ">";
+            std::cerr << ": " << diagnostic.message << "\n";
         }
         return 1;
     }
@@ -218,6 +229,10 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
         const auto ko = codegen::generateKernelOnly(
             loop, artifacts.outcome.schedule);
         std::cout << codegen::emitKernelOnly(loop, ko);
+    }
+    if (options.verify) {
+        std::cout << "verification: structural check and sim-equivalence "
+                     "oracle passed\n";
     }
     if (options.simulateTrip > 0) {
         const auto spec =
