@@ -29,7 +29,7 @@ main()
 
     const auto machine = machine::cydra5();
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    options.search.budgetRatio = 6.0;
 
     support::TextTable table(
         "static code size by code-generation schema (VLIW instructions)");

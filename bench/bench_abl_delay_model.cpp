@@ -101,7 +101,7 @@ run(const std::vector<ir::Loop>& loops,
         const auto g = graph::buildDepGraph(loop, machine, graph_options);
         const auto sccs = graph::findSccs(g);
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = 6.0;
+        options.search.budgetRatio = 6.0;
         const auto outcome =
             sched::moduloSchedule(loop, machine, g, sccs, options);
         agg.mean_mii += outcome.mii;

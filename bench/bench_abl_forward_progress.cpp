@@ -31,7 +31,7 @@ main()
 
     for (const bool rule : {true, false}) {
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = 2.0;
+        options.search.budgetRatio = 2.0;
         options.inner.forwardProgressRule = rule;
         const auto records = measureCorpus(corpus, machine, options);
         int at_mii = 0;

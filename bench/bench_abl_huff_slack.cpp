@@ -43,7 +43,9 @@ main()
     const auto corpus = workloads::buildCorpus(spec);
 
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    options.search.budgetRatio = 6.0;
+    sched::SlackScheduleOptions slack_options;
+    slack_options.search = options.search;
 
     Row ims_row, huff_row;
     for (const auto& w : corpus) {
@@ -78,7 +80,7 @@ main()
         account(ims_row, sched::moduloSchedule(w.loop, machine, g, sccs,
                                                options));
         account(huff_row, sched::slackModuloSchedule(w.loop, machine, g,
-                                                     sccs, options));
+                                                     sccs, slack_options));
     }
 
     support::TextTable table(

@@ -19,7 +19,7 @@ main()
 
     const auto machine = machine::cydra5();
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    options.search.budgetRatio = 6.0;
 
     support::TextTable table(
         "load-store elimination: critical-path loads removed");

@@ -32,7 +32,7 @@ main()
     table.addHeader(header);
 
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    options.search.budgetRatio = 6.0;
 
     for (const auto& w : corpus) {
         std::vector<std::string> row = {w.loop.name()};

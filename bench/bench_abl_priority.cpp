@@ -36,7 +36,7 @@ main()
           sched::PriorityScheme::kSourceOrder,
           sched::PriorityScheme::kRandom}) {
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = 6.0;
+        options.search.budgetRatio = 6.0;
         options.inner.priority = scheme;
         const auto records = measureCorpus(corpus, machine, options);
 

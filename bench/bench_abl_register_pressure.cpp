@@ -40,7 +40,7 @@ run(const std::vector<workloads::Workload>& corpus,
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = 6.0;
+        options.search.budgetRatio = 6.0;
         options.inner.priority = scheme;
         const auto outcome =
             sched::moduloSchedule(w.loop, machine, g, sccs, options);
@@ -78,7 +78,7 @@ main()
     std::vector<int> reference_ii;
     for (const auto& w : corpus) {
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = 6.0;
+        options.search.budgetRatio = 6.0;
         reference_ii.push_back(
             measureLoop(w, machine, options).ii);
     }

@@ -44,7 +44,7 @@ main()
     for (const char* name : kernels) {
         const auto w = workloads::kernelByName(name);
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = 6.0;
+        options.search.budgetRatio = 6.0;
         const auto record = measureLoop(w, machine, options);
 
         std::vector<std::string> row = {name,
@@ -96,7 +96,7 @@ main()
         std::vector<std::string> row = {name};
         {
             sched::ModuloScheduleOptions options;
-            options.budgetRatio = 6.0;
+            options.search.budgetRatio = 6.0;
             const auto record = measureLoop(w, machine, options);
             row.push_back(std::to_string(record.resMii));
             row.push_back(std::to_string(record.ii));
@@ -104,7 +104,7 @@ main()
         for (int f : {2, 4}) {
             const auto unrolled = transform::unrollLoop(w.loop, f);
             sched::ModuloScheduleOptions options;
-            options.budgetRatio = 6.0;
+            options.search.budgetRatio = 6.0;
             const auto g = graph::buildDepGraph(unrolled, machine);
             const auto sccs = graph::findSccs(g);
             const auto outcome = sched::moduloSchedule(unrolled, machine,

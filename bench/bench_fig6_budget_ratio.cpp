@@ -39,7 +39,7 @@ main()
     for (int step = 0; step <= 12; ++step) {
         const double budget_ratio = 1.0 + 0.25 * step;
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = budget_ratio;
+        options.search.budgetRatio = budget_ratio;
         const auto records = measureCorpus(corpus, machine, options);
 
         double total_actual = 0.0, total_bound = 0.0;
@@ -87,7 +87,7 @@ main()
     // the scheduling effort (paper: 2.18x = 1.59 + 0.59).
     {
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = 2.0;
+        options.search.budgetRatio = 2.0;
         const auto records = measureCorpus(corpus, machine, options);
         long long steps = 0, ops = 0, unschedules = 0;
         for (const auto& r : records) {

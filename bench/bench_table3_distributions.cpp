@@ -26,11 +26,11 @@ main()
     const auto corpus = workloads::buildCorpus();
 
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0; // the paper's quality-study setting
+    options.search.budgetRatio = 6.0; // the paper's quality-study setting
 
     std::cout << "Scheduling " << corpus.size() << " loops ("
               << "perfect+spec+lfk) on " << machine.name()
-              << " at BudgetRatio " << options.budgetRatio << "...\n";
+              << " at BudgetRatio " << options.search.budgetRatio << "...\n";
     const auto records = measureCorpus(corpus, machine, options);
 
     // ---- Table 3 proper. --------------------------------------------

@@ -30,7 +30,7 @@ main()
     const auto machine = machine::cydra5();
     const auto corpus = workloads::buildCorpus();
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 2.0;
+    options.search.budgetRatio = 2.0;
 
     const auto records = measureCorpus(corpus, machine, options);
 

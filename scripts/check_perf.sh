@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Build the scheduler hot-path benchmark in Release mode, verify schedule
-# identity against the checked-in seed golden, and fail if any throughput
-# metric regresses by more than 10% against the checked-in baseline
-# (BENCH_sched_hotpath.json at the repo root).
+# Build the performance benchmarks in Release mode and run the gates:
+#
+#  1. bench_sched_hotpath — verify schedule identity against the
+#     checked-in seed golden, and fail if any throughput metric regresses
+#     by more than 10% against the checked-in baseline
+#     (BENCH_sched_hotpath.json at the repo root).
+#  2. bench_ii_search — racing-vs-linear II search on hard-II workloads:
+#     bit-identity of racing results is always enforced; the >=1.5x
+#     geomean speedup floor at 8 threads is enforced only when the host
+#     has at least 8 hardware threads (the bench reports the gate as
+#     skipped otherwise, and records the core count in the JSON).
 #
 # Usage: scripts/check_perf.sh [build-dir]   (default: build-perf)
 #
-# To refresh the baseline after an intentional performance change:
+# To refresh the baselines after an intentional performance change:
 #   <build-dir>/bench/bench_sched_hotpath \
 #       --golden bench/data/sched_identity_seed.json \
 #       --out BENCH_sched_hotpath.json
-# and commit the new BENCH_sched_hotpath.json.
+#   <build-dir>/bench/bench_ii_search --out BENCH_ii_search.json
+# and commit the new BENCH_*.json files.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,12 +31,16 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_sched_hotpath
+cmake --build "$BUILD_DIR" -j --target bench_sched_hotpath bench_ii_search
 
 echo "== bench_sched_hotpath (identity + >10% regression gate) =="
 "$BUILD_DIR/bench/bench_sched_hotpath" \
     --golden bench/data/sched_identity_seed.json \
     --baseline "$BASELINE" \
     --out "$BUILD_DIR/BENCH_sched_hotpath.json"
+
+echo "== bench_ii_search (racing identity + hardware-gated speedup) =="
+"$BUILD_DIR/bench/bench_ii_search" \
+    --out "$BUILD_DIR/BENCH_ii_search.json"
 
 echo "perf: all checks passed"

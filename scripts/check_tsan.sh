@@ -13,7 +13,7 @@ cmake -B "$BUILD_DIR" -S . -DIMS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
     --target batch_pipeliner_test telemetry_test pipeliner_test \
-             bench_batch_throughput
+             ii_search_test bench_batch_throughput
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -23,6 +23,8 @@ echo "== telemetry_test (tsan) =="
 "$BUILD_DIR/tests/telemetry_test"
 echo "== pipeliner_test (tsan) =="
 "$BUILD_DIR/tests/pipeliner_test"
+echo "== ii_search_test (tsan) =="
+"$BUILD_DIR/tests/ii_search_test"
 echo "== bench_batch_throughput (tsan, small sweep) =="
 "$BUILD_DIR/bench/bench_batch_throughput" --loops 40 --threads 1,4,8
 

@@ -179,6 +179,14 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
         result.telemetry.budget = outcome.budget;
         result.telemetry.stepsTotal = outcome.totalSteps;
         result.telemetry.backtracks = outcome.totalUnschedules;
+        result.telemetry.iiStrategy = outcome.search.strategy;
+        result.telemetry.iiWorkers = outcome.search.workers;
+        result.telemetry.iiAttemptsStarted = outcome.search.attemptsStarted;
+        result.telemetry.iiAttemptsCancelled =
+            outcome.search.attemptsCancelled;
+        result.telemetry.iiAttemptsWasted = outcome.search.attemptsWasted;
+        result.telemetry.iiSearchWallSeconds = outcome.search.wallSeconds;
+        result.telemetry.iiSearchCpuSeconds = outcome.search.cpuSeconds;
 
         phase = support::phaseName(support::Phase::kVerify);
         if (options.verify) {
@@ -246,6 +254,14 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
         result.telemetry.succeeded = true;
     } catch (const ReportedFailure&) {
         // Diagnostics for this failure are already on the result.
+    } catch (const support::CodedError& error) {
+        // Structured throwers (e.g. the II-search driver's
+        // "sched.ii_exhausted") carry their own stable code; preserve it
+        // instead of synthesizing a generic "error.<phase>".
+        if (!recorder.record().phases.empty())
+            phase = support::phaseName(recorder.record().phases.back().phase);
+        result.diagnostics.push_back({Diagnostic::Severity::kError, phase,
+                                      error.what(), error.code()});
     } catch (const std::exception& error) {
         // The RAII phase timers record their samples during unwinding, so
         // the last sample the recorder saw pinpoints the failing phase
@@ -268,17 +284,6 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
     result.telemetry.phases = std::move(recorder.record().phases);
     result.telemetry.counters = recorder.record().counters;
     return result;
-}
-
-PipelineArtifacts
-SoftwarePipeliner::pipeline(const ir::Loop& loop,
-                            support::Counters* counters) const
-{
-    PipelineResult result = pipeline(PipelineRequest(loop));
-    if (counters != nullptr)
-        *counters += result.telemetry.counters;
-    result.artifactsOrThrow();
-    return std::move(*result.artifacts);
 }
 
 } // namespace ims::core

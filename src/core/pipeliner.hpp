@@ -25,6 +25,8 @@ namespace ims::core {
  *  - delay model: exact (Table 1), DSA/EVR form assumed;
  *  - priority: HeightR, forward-progress rule on;
  *  - BudgetRatio 2.0 (the paper's recommendation), maxIiIncrease 4096;
+ *  - II search: linear (withIiSearch selects the deterministic racing
+ *    strategy; see sched/ii_search.hpp);
  *  - independent schedule verification on;
  *  - no telemetry sink.
  *
@@ -70,14 +72,40 @@ struct PipelinerOptions
     PipelinerOptions&
     withBudgetRatio(double ratio)
     {
-        schedule.budgetRatio = ratio;
+        schedule.search.budgetRatio = ratio;
         return *this;
     }
 
     PipelinerOptions&
     withMaxIiIncrease(int increase)
     {
-        schedule.maxIiIncrease = increase;
+        schedule.search.maxIiIncrease = increase;
+        return *this;
+    }
+
+    /**
+     * Replace the II-search policy wholesale (strategy kind, BudgetRatio,
+     * maxIiIncrease, racing worker count).
+     */
+    PipelinerOptions&
+    withIiSearch(sched::IiSearchOptions search)
+    {
+        schedule.search = search;
+        return *this;
+    }
+
+    /**
+     * Select the II-search strategy, keeping the budget knobs: e.g.
+     * `withIiSearch(sched::IiSearchKind::kRacing, 8)`. `threads` <= 0
+     * means hardware concurrency (racing only). The racing strategy is
+     * deterministic: results are bit-identical to the linear search at
+     * any thread count (see docs/ALGORITHM.md, "II search strategies").
+     */
+    PipelinerOptions&
+    withIiSearch(sched::IiSearchKind kind, int threads = 0)
+    {
+        schedule.search.kind = kind;
+        schedule.search.threads = threads;
         return *this;
     }
 
@@ -306,15 +334,6 @@ class SoftwarePipeliner
      * produced before failing.
      */
     PipelineResult pipeline(const PipelineRequest& request) const;
-
-    /**
-     * Deprecated pre-request/result signature, kept as a thin shim:
-     * equivalent to `pipeline(PipelineRequest(loop)).artifactsOrThrow()`
-     * with the telemetry counters copied out through `counters`.
-     */
-    [[deprecated("use pipeline(const PipelineRequest&) -> PipelineResult")]]
-    PipelineArtifacts pipeline(const ir::Loop& loop,
-                               support::Counters* counters = nullptr) const;
 
   private:
     machine::MachineModel machine_;

@@ -1,0 +1,236 @@
+#include "sched/ii_search.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace ims::sched {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/**
+ * The race engine both strategies share. Workers claim candidate IIs off
+ * an atomic cursor in increasing order; a successful attempt lowers the
+ * cancellation ceiling to its II, which (a) stops further claims above
+ * it and (b) cooperatively aborts in-flight attempts above it. The
+ * linear strategy is the same engine with one worker run inline — the
+ * single worker claims minIi, minIi+1, ... and stops at the first claim
+ * above the ceiling, i.e. right after its first success — so the two
+ * strategies cannot drift apart behaviourally.
+ *
+ * Determinism: an attempt at `ii` can be skipped or cancelled only when
+ * the ceiling is below `ii`, i.e. only when some attempt at ii' < ii
+ * succeeded. The winner is the lowest successful II, so for every
+ * ii <= winner no such ii' exists: attempts at ii < winner always run
+ * to (deterministic) failure, and the winner's attempt always runs to
+ * success. The prefix [minIi, winner] therefore reproduces the linear
+ * search exactly; everything at higher IIs is discarded speculation.
+ */
+IiSearchResult
+runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
+{
+    assert(min_ii <= max_ii);
+    const int candidates = max_ii - min_ii + 1;
+
+    struct Slot
+    {
+        bool started = false;
+        double seconds = 0.0;
+        IiAttemptOutcome outcome;
+        std::exception_ptr error;
+    };
+    std::vector<Slot> slots(candidates);
+    support::CancellationToken token;
+    std::atomic<int> cursor{min_ii};
+
+    const auto search_start = std::chrono::steady_clock::now();
+    const auto body = [&](int worker) {
+        while (true) {
+            const int ii = cursor.fetch_add(1, std::memory_order_relaxed);
+            // Claims arrive in increasing II order, so once one claim is
+            // above the ceiling every later claim of this worker would be
+            // too: return instead of spinning through the tail.
+            if (ii > max_ii || token.cancelled(ii))
+                return;
+            Slot& slot = slots[ii - min_ii];
+            slot.started = true;
+            const auto attempt_start = std::chrono::steady_clock::now();
+            try {
+                slot.outcome = attempt(ii, worker, token);
+            } catch (...) {
+                // parallelFor's contract: bodies must not throw. Park the
+                // exception; the assembly step below rethrows it iff the
+                // linear search would have reached this II.
+                slot.error = std::current_exception();
+            }
+            slot.seconds = secondsSince(attempt_start);
+            if (slot.outcome.schedule.has_value())
+                token.lowerCeiling(ii);
+        }
+    };
+
+    if (workers <= 1) {
+        body(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(body, w);
+        for (auto& thread : pool)
+            thread.join();
+    }
+
+    IiSearchResult result;
+    result.workers = workers < 1 ? 1 : workers;
+    result.wallSeconds = secondsSince(search_start);
+
+    // The winner is the lowest successful II; a parked exception below it
+    // takes precedence (the linear search would have thrown there before
+    // ever reaching the winner). Exceptions parked *above* the winner
+    // belong to speculative attempts the linear search never runs — they
+    // are discarded with the rest of the speculation.
+    int winner = -1;
+    for (int i = 0; i < candidates; ++i) {
+        if (slots[i].error != nullptr)
+            std::rethrow_exception(slots[i].error);
+        if (slots[i].outcome.schedule.has_value()) {
+            winner = i;
+            break;
+        }
+    }
+
+    const int prefix = winner >= 0 ? winner + 1 : candidates;
+    result.searchedIis = prefix;
+    result.records.reserve(static_cast<std::size_t>(prefix));
+    for (int i = 0; i < prefix; ++i) {
+        Slot& slot = slots[i];
+        // Deterministic-prefix invariant (see the engine comment): every
+        // prefix attempt ran to completion, uncancelled.
+        assert(slot.started && !slot.outcome.cancelled);
+        result.counters += slot.outcome.counters;
+        result.records.push_back({min_ii + i,
+                                  slot.outcome.schedule.has_value(),
+                                  slot.seconds});
+    }
+    if (winner >= 0)
+        result.schedule = std::move(slots[winner].outcome.schedule);
+
+    for (int i = 0; i < candidates; ++i) {
+        const Slot& slot = slots[i];
+        if (!slot.started)
+            continue;
+        ++result.attemptsStarted;
+        result.cpuSeconds += slot.seconds;
+        if (slot.outcome.cancelled)
+            ++result.attemptsCancelled;
+        if (winner >= 0 && i > winner)
+            ++result.attemptsWasted;
+    }
+    return result;
+}
+
+class LinearIiSearch final : public IiSearchStrategy
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "linear";
+    }
+
+    int
+    plannedWorkers(int /*candidates*/) const override
+    {
+        return 1;
+    }
+
+    IiSearchResult
+    search(int min_ii, int max_ii, const IiAttemptFn& attempt) const override
+    {
+        return runRace(min_ii, max_ii, 1, attempt);
+    }
+};
+
+class RacingIiSearch final : public IiSearchStrategy
+{
+  public:
+    explicit RacingIiSearch(int threads) : threads_(threads) {}
+
+    std::string
+    name() const override
+    {
+        return "racing";
+    }
+
+    int
+    plannedWorkers(int candidates) const override
+    {
+        return support::resolveThreads(threads_,
+                                       static_cast<std::size_t>(
+                                           candidates < 1 ? 1 : candidates));
+    }
+
+    IiSearchResult
+    search(int min_ii, int max_ii, const IiAttemptFn& attempt) const override
+    {
+        return runRace(min_ii, max_ii,
+                       plannedWorkers(max_ii - min_ii + 1), attempt);
+    }
+
+  private:
+    int threads_;
+};
+
+} // namespace
+
+std::string
+iiSearchKindName(IiSearchKind kind)
+{
+    switch (kind) {
+      case IiSearchKind::kLinear:
+        return "linear";
+      case IiSearchKind::kRacing:
+        return "racing";
+    }
+    return "?";
+}
+
+std::optional<IiSearchKind>
+iiSearchKindByName(std::string_view name)
+{
+    if (name == "linear")
+        return IiSearchKind::kLinear;
+    if (name == "racing")
+        return IiSearchKind::kRacing;
+    return std::nullopt;
+}
+
+std::unique_ptr<IiSearchStrategy>
+makeIiSearchStrategy(const IiSearchOptions& options)
+{
+    support::check(options.budgetRatio > 0, "BudgetRatio must be positive");
+    support::check(options.maxIiIncrease >= 0,
+                   "maxIiIncrease must be non-negative");
+    switch (options.kind) {
+      case IiSearchKind::kLinear:
+        return std::make_unique<LinearIiSearch>();
+      case IiSearchKind::kRacing:
+        return std::make_unique<RacingIiSearch>(options.threads);
+    }
+    throw support::Error("unknown II search kind");
+}
+
+} // namespace ims::sched

@@ -1,0 +1,197 @@
+#ifndef IMS_SCHED_II_SEARCH_HPP
+#define IMS_SCHED_II_SEARCH_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/iterative_scheduler.hpp"
+#include "support/cancellation.hpp"
+#include "support/counters.hpp"
+
+namespace ims::sched {
+
+/**
+ * How the outer loop of Figure 2 walks the candidate IIs. Both policies
+ * return the *lowest feasible* II: linear tries mii, mii+1, ... strictly
+ * sequentially; racing launches attempts for several candidate IIs
+ * concurrently and cancels in-flight attempts above the lowest success.
+ *
+ * Racing is deterministic by construction — see docs/ALGORITHM.md, "II
+ * search strategies": an attempt at a candidate II is a pure function of
+ * the immutable inputs and the II itself (per-worker scheduler state,
+ * per-attempt (seed, ii) RNG derivation), and no attempt below the
+ * eventual winner can ever be cancelled, so the returned (ii, schedule)
+ * — and every statistic derived from the deterministic prefix
+ * [mii, winner] — is bit-identical to the linear search regardless of
+ * thread count or timing.
+ */
+enum class IiSearchKind
+{
+    kLinear,
+    kRacing,
+};
+
+/** Stable lowercase name ("linear", "racing"). */
+std::string iiSearchKindName(IiSearchKind kind);
+
+/** Inverse of iiSearchKindName; nullopt for unknown names. */
+std::optional<IiSearchKind> iiSearchKindByName(std::string_view name);
+
+/**
+ * The II-search policy shared by the iterative and the slack modulo
+ * schedulers (both consume it through their respective options structs,
+ * so the budget/maxIiIncrease knobs exist exactly once).
+ */
+struct IiSearchOptions
+{
+    IiSearchKind kind = IiSearchKind::kLinear;
+    /**
+     * "BudgetRatio is the ratio of the maximum number of operation
+     * scheduling steps attempted (before giving up and trying a larger
+     * initiation interval) to the number of operations in the loop." The
+     * paper's experiments use 6 for the quality study and recommend 2
+     * (§4.3/§5); 2 is the default here.
+     */
+    double budgetRatio = 2.0;
+    /** Safety bound on II above the MII before giving up entirely. */
+    int maxIiIncrease = 4096;
+    /** Racing worker count; <= 0 means hardware concurrency. Ignored by
+     *  the linear strategy. */
+    int threads = 0;
+
+    IiSearchOptions&
+    withKind(IiSearchKind k)
+    {
+        kind = k;
+        return *this;
+    }
+
+    IiSearchOptions&
+    withBudgetRatio(double ratio)
+    {
+        budgetRatio = ratio;
+        return *this;
+    }
+
+    IiSearchOptions&
+    withMaxIiIncrease(int increase)
+    {
+        maxIiIncrease = increase;
+        return *this;
+    }
+
+    IiSearchOptions&
+    withThreads(int t)
+    {
+        threads = t;
+        return *this;
+    }
+};
+
+/**
+ * One schedule attempt at a fixed candidate II, as seen by the search
+ * strategy. `counters` is the attempt's *own* batched counter delta (the
+ * strategy folds only the deterministic prefix into the search result);
+ * `cancelled` marks an attempt that abandoned work because the token's
+ * ceiling dropped below its II mid-run.
+ */
+struct IiAttemptOutcome
+{
+    std::optional<ScheduleResult> schedule;
+    bool cancelled = false;
+    support::Counters counters;
+};
+
+/**
+ * Callback scheduling one candidate II. `worker` is in
+ * [0, plannedWorkers()); the strategy guarantees at most one concurrent
+ * invocation per worker index, so per-worker mutable state (scheduler
+ * buffers, counters) needs no locking. The token must be polled
+ * cooperatively (IterativeScheduler::trySchedule does, once per
+ * budget-loop iteration).
+ */
+using IiAttemptFn = std::function<IiAttemptOutcome(
+    int ii, int worker, const support::CancellationToken& cancel)>;
+
+/** One candidate II of the deterministic prefix, for telemetry. */
+struct IiAttemptRecord
+{
+    int ii = 0;
+    bool feasible = false;
+    /** Wall time of the attempt (nondeterministic; observability only). */
+    double seconds = 0.0;
+};
+
+/** What a strategy's search() returns. */
+struct IiSearchResult
+{
+    /** The winning schedule; nullopt when every candidate failed. */
+    std::optional<ScheduleResult> schedule;
+    /**
+     * Length of the deterministic prefix: the number of candidate IIs
+     * the equivalent linear search would have attempted
+     * (winner - minIi + 1, or the whole range on exhaustion). This, the
+     * schedule, `counters` and `records` are bit-identical across
+     * strategies and thread counts.
+     */
+    int searchedIis = 0;
+    /** Counter deltas summed over the deterministic prefix only. */
+    support::Counters counters;
+    /** Per-candidate records for the deterministic prefix, in II order. */
+    std::vector<IiAttemptRecord> records;
+
+    // Everything below is observability for the race itself and is NOT
+    // deterministic (it depends on thread scheduling): speculative
+    // attempts above the winner may or may not have started.
+    /** Attempts actually launched (>= searchedIis under racing). */
+    int attemptsStarted = 0;
+    /** Attempts that aborted mid-run via the cancellation token. */
+    int attemptsCancelled = 0;
+    /** Attempts launched above the winning II (their work is discarded). */
+    int attemptsWasted = 0;
+    /** Workers the strategy ran with. */
+    int workers = 1;
+    /** End-to-end wall time of the search. */
+    double wallSeconds = 0.0;
+    /** Sum of per-attempt wall times — with racing, cpuSeconds >
+     *  wallSeconds measures the achieved overlap. */
+    double cpuSeconds = 0.0;
+};
+
+/**
+ * Strategy interface for the outer II loop. Implementations must return
+ * the lowest feasible II in [minIi, maxIi] with deterministic results
+ * (see IiSearchKind).
+ */
+class IiSearchStrategy
+{
+  public:
+    virtual ~IiSearchStrategy() = default;
+
+    /** Stable strategy name ("linear", "racing"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Worker indices the strategy will use for a range of `candidates`
+     * IIs; the attempt callback sees `worker` < this value. Callers
+     * pre-size per-worker state with it.
+     */
+    virtual int plannedWorkers(int candidates) const = 0;
+
+    /** Search [minIi, maxIi] (inclusive) for the lowest feasible II. */
+    virtual IiSearchResult search(int minIi, int maxIi,
+                                  const IiAttemptFn& attempt) const = 0;
+};
+
+/** Build the strategy selected by `options`. */
+std::unique_ptr<IiSearchStrategy>
+makeIiSearchStrategy(const IiSearchOptions& options);
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_II_SEARCH_HPP

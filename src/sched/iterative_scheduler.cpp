@@ -26,11 +26,13 @@ class Attempt
             const graph::DepGraph& graph,
             const std::vector<std::int64_t>& priority,
             const IterativeScheduleOptions& options, int ii,
-            machine::CompiledTableCache* cache)
+            machine::CompiledTableCache* cache,
+            const support::CancellationToken* cancel)
         : graph_(graph),
           priority_(priority),
           options_(options),
           ii_(ii),
+          cancel_(cancel),
           schedule_(graph, loop, machine, ii, cache),
           ready_(priority)
     {
@@ -40,8 +42,10 @@ class Attempt
     bool
     run(std::int64_t budget)
     {
-        if (!schedule_.allVerticesPlaceable())
+        if (!schedule_.allVerticesPlaceable()) {
+            status_ = AttemptStatus::kInfeasible;
             return false;
+        }
 
         // Schedule START at time 0.
         schedule_.place(graph_.start(), 0, 0);
@@ -50,6 +54,14 @@ class Attempt
         ++stepsUsed_;
 
         while (!ready_.empty() && budget > 0) {
+            // Cooperative cancellation: when a racing search has already
+            // accepted a lower II, this attempt's remaining work cannot
+            // affect the (deterministic) result — stop within one
+            // budget-loop check. One relaxed load per scheduling step.
+            if (cancel_ != nullptr && cancel_->cancelled(ii_)) {
+                status_ = AttemptStatus::kCancelled;
+                return false;
+            }
             const graph::VertexId op = ready_.top();
             const int estart = calculateEarlyStart(op);
             const int min_time = estart;
@@ -82,9 +94,15 @@ class Attempt
                 options_.trace->push_back(std::move(event));
             }
         }
-        return ready_.empty();
+        if (ready_.empty()) {
+            status_ = AttemptStatus::kScheduled;
+            return true;
+        }
+        status_ = AttemptStatus::kBudgetExhausted;
+        return false;
     }
 
+    AttemptStatus status() const { return status_; }
     std::int64_t stepsUsed() const { return stepsUsed_; }
     std::int64_t unschedules() const { return unschedules_; }
     std::uint64_t estartVisits() const { return estartVisits_; }
@@ -226,6 +244,8 @@ class Attempt
     const std::vector<std::int64_t>& priority_;
     const IterativeScheduleOptions& options_;
     int ii_;
+    const support::CancellationToken* cancel_;
+    AttemptStatus status_ = AttemptStatus::kBudgetExhausted;
     PartialSchedule schedule_;
     ReadyQueue ready_;
     /** Scratch for forced-placement conflict queries (no per-call alloc). */
@@ -257,24 +277,24 @@ IterativeScheduler::IterativeScheduler(const ir::Loop& loop,
 }
 
 std::optional<ScheduleResult>
-IterativeScheduler::trySchedule(int ii, std::int64_t budget)
+IterativeScheduler::trySchedule(int ii, std::int64_t budget,
+                                const support::CancellationToken* cancel,
+                                AttemptStatus* status)
 {
-    support::PhaseTimer timer(options_.telemetry,
-                              support::Phase::kIiAttempt, ii);
-    timer.setSucceeded(false);
-
     computePrioritiesInto(graph_, sccs_, ii, options_.priority,
                           options_.randomSeed, counters_,
                           priorityWorkspace_);
 
     Attempt attempt(loop_, machine_, graph_, priorityWorkspace_.priorities,
-                    options_, ii, &compiledCache_);
+                    options_, ii, &compiledCache_, cancel);
     const bool success = attempt.run(budget);
+    if (status != nullptr)
+        *status = attempt.status();
 
     // One batched delta per attempt feeds the unified telemetry counters
-    // (the deprecated Counters* shim and, through the pipeliner's
-    // end-of-run onCounters, every TelemetrySink) — the hot loop itself
-    // never touches the shared struct.
+    // (and, through the pipeliner's end-of-run onCounters, every
+    // TelemetrySink) — the hot loop itself never touches the shared
+    // struct.
     if (counters_ != nullptr) {
         counters_->estartPredecessorVisits += attempt.estartVisits();
         counters_->findTimeSlotProbes += attempt.slotProbes();
@@ -300,7 +320,6 @@ IterativeScheduler::trySchedule(int ii, std::int64_t budget)
     result.scheduleLength = attempt.schedule().timeOf(graph_.stop());
     result.stepsUsed = attempt.stepsUsed();
     result.unschedules = attempt.unschedules();
-    timer.setSucceeded(true);
     return result;
 }
 

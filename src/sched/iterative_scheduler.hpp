@@ -11,6 +11,7 @@
 #include "machine/compiled_reservations.hpp"
 #include "machine/machine_model.hpp"
 #include "sched/priority.hpp"
+#include "support/cancellation.hpp"
 #include "support/counters.hpp"
 #include "support/telemetry.hpp"
 
@@ -63,9 +64,12 @@ struct IterativeScheduleOptions
     /** When non-null, every scheduling step is appended here. */
     std::vector<TraceEvent>* trace = nullptr;
     /**
-     * When non-null, every trySchedule invocation is reported as one
-     * Phase::kIiAttempt sample (detail = the candidate II, succeeded =
-     * whether a schedule was found).
+     * Sink receiving the phases surrounding scheduling (MII bounds, and
+     * the Phase::kIiAttempt samples the II-search driver replays for the
+     * deterministic prefix of candidate IIs — see sched/ii_search.hpp).
+     * trySchedule itself emits nothing: under a racing search the sink
+     * would otherwise observe speculative attempts in a nondeterministic
+     * order.
      */
     support::TelemetrySink* telemetry = nullptr;
 };
@@ -86,6 +90,19 @@ struct ScheduleResult
     std::int64_t unschedules = 0;
 };
 
+/** Why one trySchedule invocation ended the way it did. */
+enum class AttemptStatus
+{
+    /** A complete legal modulo schedule was produced. */
+    kScheduled,
+    /** The step budget ran out with operations still unscheduled. */
+    kBudgetExhausted,
+    /** Some operation has no usable alternative at this II. */
+    kInfeasible,
+    /** The cancellation token's ceiling dropped below this II mid-run. */
+    kCancelled,
+};
+
 /**
  * One invocation of the paper's IterativeSchedule (Figure 3): attempt to
  * schedule `loop` at initiation interval `ii` within `budget` operation
@@ -94,6 +111,11 @@ struct ScheduleResult
  * this II).
  *
  * The dependence graph and SCCs must correspond to `loop` on `machine`.
+ *
+ * A scheduler instance reuses its priority/reservation-table buffers
+ * across candidate IIs and is therefore NOT safe for concurrent
+ * trySchedule calls; the racing II search gives every worker its own
+ * instance (see sched/ii_search.hpp).
  */
 class IterativeScheduler
 {
@@ -105,8 +127,18 @@ class IterativeScheduler
                        IterativeScheduleOptions options = {},
                        support::Counters* counters = nullptr);
 
-    /** Attempt to find a schedule at `ii` within `budget` steps. */
-    std::optional<ScheduleResult> trySchedule(int ii, std::int64_t budget);
+    /**
+     * Attempt to find a schedule at `ii` within `budget` steps.
+     *
+     * When `cancel` is non-null it is polled once per budget-loop
+     * iteration with key `ii`; a cancelled attempt abandons work within
+     * one scheduling step and returns nullopt. `status`, when non-null,
+     * reports why the attempt ended.
+     */
+    std::optional<ScheduleResult>
+    trySchedule(int ii, std::int64_t budget,
+                const support::CancellationToken* cancel = nullptr,
+                AttemptStatus* status = nullptr);
 
   private:
     const ir::Loop& loop_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "graph/graph_builder.hpp"
 #include "mii/mii.hpp"
@@ -10,12 +12,73 @@
 namespace ims::sched {
 
 ModuloScheduleOutcome
+runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
+            std::int64_t budget, const IiAttemptFn& attempt,
+            support::Counters* counters, support::TelemetrySink* telemetry,
+            const std::function<std::string()>& exhausted_message)
+{
+    const auto strategy = makeIiSearchStrategy(options);
+    IiSearchResult found =
+        strategy->search(mii, mii + options.maxIiIncrease, attempt);
+
+    // Fold the deterministic prefix into the caller-visible accounting:
+    // the counter deltas and the replayed Phase::kIiAttempt samples cover
+    // exactly the candidates [mii, winner] in II order — what the linear
+    // search reports natively — so sinks and counters are bit-identical
+    // across strategies and thread counts (timings aside).
+    if (counters != nullptr)
+        *counters += found.counters;
+    if (telemetry != nullptr) {
+        for (const IiAttemptRecord& record : found.records) {
+            support::PhaseSample sample;
+            sample.phase = support::Phase::kIiAttempt;
+            sample.detail = record.ii;
+            sample.seconds = record.seconds;
+            sample.succeeded = record.feasible;
+            telemetry->onPhase(sample);
+        }
+    }
+
+    ModuloScheduleOutcome outcome;
+    outcome.resMii = res_mii;
+    outcome.mii = mii;
+    outcome.budget = budget;
+    outcome.attempts = found.searchedIis;
+    outcome.search.strategy = strategy->name();
+    outcome.search.workers = found.workers;
+    outcome.search.attemptsStarted = found.attemptsStarted;
+    outcome.search.attemptsCancelled = found.attemptsCancelled;
+    outcome.search.attemptsWasted = found.attemptsWasted;
+    outcome.search.wallSeconds = found.wallSeconds;
+    outcome.search.cpuSeconds = found.cpuSeconds;
+    outcome.search.records = std::move(found.records);
+
+    if (!found.schedule.has_value()) {
+        // The message is built only on this cold path; the code gives
+        // the pipeliner's Diagnostic a stable machine-readable identity.
+        throw support::CodedError("sched.ii_exhausted", exhausted_message());
+    }
+
+    // §4.3: "IterativeSchedule, on all but the last, successful
+    // invocation, expends its entire budget each time."
+    outcome.totalSteps =
+        budget * (found.searchedIis - 1) + found.schedule->stepsUsed;
+    outcome.totalUnschedules = found.schedule->unschedules;
+    outcome.schedule = std::move(*found.schedule);
+    return outcome;
+}
+
+ModuloScheduleOutcome
 moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
                const graph::DepGraph& graph, const graph::SccResult& sccs,
                const ModuloScheduleOptions& options,
                support::Counters* counters)
 {
-    support::check(options.budgetRatio > 0, "BudgetRatio must be positive");
+    support::check(options.search.budgetRatio > 0,
+                   "BudgetRatio must be positive");
+    support::check(options.inner.trace == nullptr ||
+                       options.search.kind == IiSearchKind::kLinear,
+                   "trace capture requires the linear II search");
 
     const mii::MiiResult mii = mii::computeMii(loop, machine, graph, sccs,
                                                counters,
@@ -26,36 +89,55 @@ moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
     // START), so a BudgetRatio of 1 affords exactly one scheduling step
     // per vertex.
     const std::int64_t budget = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(
-               std::llround(options.budgetRatio * (loop.size() + 2))));
+        1, static_cast<std::int64_t>(std::llround(
+               options.search.budgetRatio * (loop.size() + 2))));
 
-    IterativeScheduler scheduler(loop, machine, graph, sccs, options.inner,
-                                 counters);
+    // Per-worker scheduler state: trySchedule reuses priority and
+    // compiled-reservation buffers across candidate IIs, so concurrent
+    // attempts must not share an IterativeScheduler. The strategy
+    // guarantees at most one in-flight attempt per worker index;
+    // schedulers are built lazily so a race that ends early never pays
+    // for idle workers' state.
+    const auto strategy = makeIiSearchStrategy(options.search);
+    const int workers =
+        strategy->plannedWorkers(options.search.maxIiIncrease + 1);
 
-    ModuloScheduleOutcome outcome;
-    outcome.resMii = mii.resMii;
-    outcome.mii = mii.mii;
-    outcome.budget = budget;
+    IterativeScheduleOptions inner = options.inner;
+    inner.telemetry = nullptr; // kIiAttempt samples are replayed by the
+                               // driver for the deterministic prefix only
 
-    for (int ii = mii.mii; ii <= mii.mii + options.maxIiIncrease; ++ii) {
-        ++outcome.attempts;
-        auto result = scheduler.trySchedule(ii, budget);
-        if (result) {
-            outcome.totalSteps += result->stepsUsed;
-            outcome.totalUnschedules += result->unschedules;
-            outcome.schedule = std::move(*result);
-            return outcome;
-        }
-        // A failed attempt consumes its entire budget (§4.3:
-        // "IterativeSchedule, on all but the last, successful invocation,
-        // expends its entire budget each time") — except when the II is
-        // structurally infeasible, which costs nothing.
-        outcome.totalSteps += budget;
-    }
-    throw support::Error("no modulo schedule found for loop '" +
-                         loop.name() + "' within " +
-                         std::to_string(options.maxIiIncrease) +
-                         " IIs above the MII");
+    struct WorkerState
+    {
+        support::Counters counters;
+        std::optional<IterativeScheduler> scheduler;
+    };
+    std::vector<WorkerState> states(static_cast<std::size_t>(workers));
+
+    const IiAttemptFn attempt =
+        [&](int ii, int worker, const support::CancellationToken& cancel) {
+            WorkerState& state = states[static_cast<std::size_t>(worker)];
+            state.counters = {};
+            if (!state.scheduler.has_value()) {
+                state.scheduler.emplace(loop, machine, graph, sccs, inner,
+                                        &state.counters);
+            }
+            IiAttemptOutcome out;
+            AttemptStatus status = AttemptStatus::kBudgetExhausted;
+            out.schedule =
+                state.scheduler->trySchedule(ii, budget, &cancel, &status);
+            out.cancelled = status == AttemptStatus::kCancelled;
+            out.counters = state.counters;
+            return out;
+        };
+
+    return runIiSearch(
+        options.search, mii.resMii, mii.mii, budget, attempt, counters,
+        options.inner.telemetry, [&] {
+            return "no modulo schedule found for loop '" + loop.name() +
+                   "' within " +
+                   std::to_string(options.search.maxIiIncrease) +
+                   " IIs above the MII";
+        });
 }
 
 ModuloScheduleOutcome

@@ -2,11 +2,15 @@
 #define IMS_SCHED_MODULO_SCHEDULER_HPP
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "graph/dep_graph.hpp"
 #include "graph/scc.hpp"
 #include "ir/loop.hpp"
 #include "machine/machine_model.hpp"
+#include "sched/ii_search.hpp"
 #include "sched/iterative_scheduler.hpp"
 #include "support/counters.hpp"
 
@@ -16,16 +20,39 @@ namespace ims::sched {
 struct ModuloScheduleOptions
 {
     /**
-     * "BudgetRatio is the ratio of the maximum number of operation
-     * scheduling steps attempted (before giving up and trying a larger
-     * initiation interval) to the number of operations in the loop." The
-     * paper's experiments use 6 for the quality study and recommend 2
-     * (§4.3/§5); 2 is the default here.
+     * The outer II loop's policy and budget knobs (BudgetRatio,
+     * maxIiIncrease, linear vs racing) — shared verbatim with the slack
+     * scheduler's SlackScheduleOptions, so the two drivers cannot drift.
      */
-    double budgetRatio = 2.0;
+    IiSearchOptions search;
     IterativeScheduleOptions inner;
-    /** Safety bound on II above the MII before giving up entirely. */
-    int maxIiIncrease = 4096;
+};
+
+/**
+ * How the II search itself went: strategy identity plus race
+ * observability. Everything except `strategy`, `records` and the
+ * derived deterministic statistics depends on thread timing —
+ * speculative attempts above the winner may or may not have launched —
+ * and must not feed anything that is compared bit-for-bit.
+ */
+struct IiSearchStats
+{
+    /** "linear" or "racing". */
+    std::string strategy = "linear";
+    /** Workers the search ran with. */
+    int workers = 1;
+    /** Attempts actually launched (>= the deterministic attempt count). */
+    int attemptsStarted = 0;
+    /** Attempts aborted mid-run by the cancellation token. */
+    int attemptsCancelled = 0;
+    /** Attempts launched above the winning II (discarded speculation). */
+    int attemptsWasted = 0;
+    /** End-to-end wall time of the search. */
+    double wallSeconds = 0.0;
+    /** Summed per-attempt wall times (> wallSeconds measures overlap). */
+    double cpuSeconds = 0.0;
+    /** Deterministic prefix records, in II order (see IiSearchResult). */
+    std::vector<IiAttemptRecord> records;
 };
 
 /** Outcome of modulo scheduling a loop. */
@@ -36,7 +63,9 @@ struct ModuloScheduleOutcome
     int resMii = 1;
     /** MII = max(ResMII, RecMII) as computed by the production protocol. */
     int mii = 1;
-    /** Number of candidate IIs attempted (>= 1). */
+    /** Number of candidate IIs attempted (>= 1). Deterministic: under a
+     *  racing search this counts the prefix [MII, winner], exactly the
+     *  attempts the linear search performs. */
     int attempts = 0;
     /** Per-attempt step budget (BudgetRatio * NumberOfOperations). */
     std::int64_t budget = 0;
@@ -44,7 +73,31 @@ struct ModuloScheduleOutcome
     std::int64_t totalSteps = 0;
     /** Unschedule steps summed over all attempts. */
     std::int64_t totalUnschedules = 0;
+    /** II-search strategy identity and race observability. */
+    IiSearchStats search;
 };
+
+/**
+ * The shared Figure-2 outer-loop driver: run `attempt` over the
+ * candidate IIs [mii, mii + options.maxIiIncrease] under the strategy
+ * selected by `options`, and fold the deterministic prefix into one
+ * ModuloScheduleOutcome — counters flushed into `counters`, one
+ * Phase::kIiAttempt sample per prefix candidate replayed into
+ * `telemetry` in II order, §4.3 budget accounting (every failed attempt
+ * bills its full budget; the winner bills the steps it used).
+ *
+ * Both moduloSchedule and slackModuloSchedule are thin wrappers over
+ * this driver; they differ only in the attempt callback and the
+ * exhaustion message.
+ *
+ * @throws support::CodedError (code "sched.ii_exhausted", message built
+ *         lazily from `exhausted_message`) when every candidate fails.
+ */
+ModuloScheduleOutcome
+runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
+            std::int64_t budget, const IiAttemptFn& attempt,
+            support::Counters* counters, support::TelemetrySink* telemetry,
+            const std::function<std::string()>& exhausted_message);
 
 /**
  * The paper's procedure ModuloSchedule (Figure 2): compute the MII, then
@@ -52,10 +105,11 @@ struct ModuloScheduleOutcome
  * with a budget of BudgetRatio * NumberOfOperations scheduling steps,
  * until a legal modulo schedule is found.
  *
- * @throws support::Error if no schedule is found within
- *         options.maxIiIncrease above the MII (in practice an acyclic
- *         graph is always schedulable once II reaches the list-schedule
- *         length, so this indicates a pathological input).
+ * @throws support::CodedError (code "sched.ii_exhausted") if no schedule
+ *         is found within options.search.maxIiIncrease above the MII (in
+ *         practice an acyclic graph is always schedulable once II
+ *         reaches the list-schedule length, so this indicates a
+ *         pathological input).
  */
 ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
                                      const machine::MachineModel& machine,

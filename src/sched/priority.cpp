@@ -9,6 +9,28 @@
 
 namespace ims::sched {
 
+namespace {
+
+/**
+ * Per-attempt RNG derivation for PriorityScheme::kRandom: a SplitMix64
+ * finalizer over (seed, ii), so the permutation is a pure function of
+ * the user seed and the candidate II. Every candidate II draws an
+ * independent permutation, and — crucially for the racing II search —
+ * the draw depends on no shared scheduler state, so concurrent attempts
+ * at different IIs reproduce the sequential search bit-for-bit.
+ */
+std::uint64_t
+mixSeedWithIi(std::uint64_t seed, int ii)
+{
+    std::uint64_t z =
+        seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(ii) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 std::string
 prioritySchemeName(PriorityScheme scheme)
 {
@@ -86,7 +108,7 @@ computePrioritiesInto(const graph::DepGraph& graph,
         auto& permutation = workspace.permutation;
         permutation.resize(n);
         std::iota(permutation.begin(), permutation.end(), 0);
-        support::Rng rng(seed);
+        support::Rng rng(mixSeedWithIi(seed, ii));
         for (int i = n - 1; i > 0; --i)
             std::swap(permutation[i], permutation[rng.uniformInt(0, i)]);
         for (graph::VertexId v = 0; v < n; ++v)

@@ -26,7 +26,9 @@ enum class PriorityScheme
     kSlack,
     /** Program order (earlier operations first). */
     kSourceOrder,
-    /** A fixed random permutation (seeded; worst-case baseline). */
+    /** A random permutation drawn per candidate II from (seed, ii) —
+     *  deterministic with no shared RNG state, so the racing II search
+     *  reproduces it exactly (worst-case baseline). */
     kRandom,
 };
 

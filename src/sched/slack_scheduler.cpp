@@ -22,9 +22,11 @@ class SlackAttempt
     SlackAttempt(const ir::Loop& loop,
                  const machine::MachineModel& machine,
                  const graph::DepGraph& graph, int ii,
-                 support::Counters* counters)
+                 support::Counters* counters,
+                 const support::CancellationToken* cancel)
         : graph_(graph),
           ii_(ii),
+          cancel_(cancel),
           dist_(graph, ii, counters),
           schedule_(graph, loop, machine, ii),
           unplaced_(graph.numVertices(), true),
@@ -51,6 +53,13 @@ class SlackAttempt
         --budget;
 
         while (numUnplaced_ > 0 && budget > 0) {
+            // Same cooperative check as the iterative scheduler's budget
+            // loop: once a racing search accepts a lower II this
+            // attempt's result is dead, stop within one step.
+            if (cancel_ != nullptr && cancel_->cancelled(ii_)) {
+                cancelled_ = true;
+                return false;
+            }
             const graph::VertexId op = pickMinSlack();
             const auto [etime, ltime] = window(op);
             const bool early = placeEarly(op);
@@ -109,6 +118,8 @@ class SlackAttempt
     }
 
     const PartialSchedule& schedule() const { return schedule_; }
+
+    bool cancelled() const { return cancelled_; }
 
     /** Batched counter deltas, flushed once per attempt by the driver. */
     std::uint64_t estartVisits() const { return estartVisits_; }
@@ -254,6 +265,8 @@ class SlackAttempt
 
     const graph::DepGraph& graph_;
     int ii_;
+    const support::CancellationToken* cancel_;
+    bool cancelled_ = false;
     mii::MinDistMatrix dist_;
     PartialSchedule schedule_;
     std::vector<bool> unplaced_;
@@ -274,64 +287,66 @@ slackModuloSchedule(const ir::Loop& loop,
                     const machine::MachineModel& machine,
                     const graph::DepGraph& graph,
                     const graph::SccResult& sccs,
-                    const ModuloScheduleOptions& options,
+                    const SlackScheduleOptions& options,
                     support::Counters* counters)
 {
-    support::check(options.budgetRatio > 0, "BudgetRatio must be positive");
+    support::check(options.search.budgetRatio > 0,
+                   "BudgetRatio must be positive");
     const mii::MiiResult mii =
         mii::computeMii(loop, machine, graph, sccs, counters);
     const std::int64_t budget = std::max<std::int64_t>(
-        2, static_cast<std::int64_t>(
-               std::llround(options.budgetRatio * (loop.size() + 2))));
+        2, static_cast<std::int64_t>(std::llround(
+               options.search.budgetRatio * (loop.size() + 2))));
 
-    ModuloScheduleOutcome outcome;
-    outcome.resMii = mii.resMii;
-    outcome.mii = mii.mii;
-
-    for (int ii = mii.mii; ii <= mii.mii + options.maxIiIncrease; ++ii) {
-        ++outcome.attempts;
-        SlackAttempt attempt(loop, machine, graph, ii, counters);
-        std::int64_t steps = 0;
-        std::int64_t unschedules = 0;
-        const bool scheduled = attempt.run(budget, steps, unschedules);
-        support::bump(counters,
-                      &support::Counters::estartPredecessorVisits,
-                      attempt.estartVisits());
-        support::bump(counters, &support::Counters::findTimeSlotProbes,
-                      attempt.slotProbes());
-        support::bump(counters, &support::Counters::scheduleSteps,
-                      attempt.scheduleSteps());
-        support::bump(counters, &support::Counters::unscheduleSteps,
-                      attempt.unscheduleSteps());
-        support::bump(counters, &support::Counters::mrtMaskProbes,
-                      attempt.schedule().mrt().maskProbes());
-        support::bump(counters, &support::Counters::mrtSlotScans,
-                      attempt.schedule().mrt().slotScans());
-        if (scheduled) {
-            outcome.totalSteps += steps;
-            outcome.totalUnschedules += unschedules;
-            ScheduleResult result;
-            result.ii = ii;
-            result.times.resize(graph.numOps());
-            result.alternatives.resize(graph.numOps());
-            for (graph::VertexId v = 0; v < graph.numOps(); ++v) {
-                result.times[v] = attempt.schedule().timeOf(v);
-                result.alternatives[v] =
-                    attempt.schedule().alternativeOf(v);
+    // Every slack attempt builds its state (MinDist matrix, partial
+    // schedule) from scratch, so unlike the iterative scheduler no
+    // per-worker reuse is needed: the attempt callback is already safe
+    // for any worker index.
+    const IiAttemptFn attempt =
+        [&](int ii, int /*worker*/,
+            const support::CancellationToken& cancel) {
+            IiAttemptOutcome out;
+            SlackAttempt attempt(loop, machine, graph, ii, &out.counters,
+                                 &cancel);
+            std::int64_t steps = 0;
+            std::int64_t unschedules = 0;
+            const bool scheduled = attempt.run(budget, steps, unschedules);
+            out.cancelled = attempt.cancelled();
+            out.counters.estartPredecessorVisits += attempt.estartVisits();
+            out.counters.findTimeSlotProbes += attempt.slotProbes();
+            out.counters.scheduleSteps += attempt.scheduleSteps();
+            out.counters.unscheduleSteps += attempt.unscheduleSteps();
+            out.counters.mrtMaskProbes +=
+                attempt.schedule().mrt().maskProbes();
+            out.counters.mrtSlotScans +=
+                attempt.schedule().mrt().slotScans();
+            if (scheduled) {
+                ScheduleResult result;
+                result.ii = ii;
+                result.times.resize(graph.numOps());
+                result.alternatives.resize(graph.numOps());
+                for (graph::VertexId v = 0; v < graph.numOps(); ++v) {
+                    result.times[v] = attempt.schedule().timeOf(v);
+                    result.alternatives[v] =
+                        attempt.schedule().alternativeOf(v);
+                }
+                result.scheduleLength =
+                    attempt.schedule().timeOf(graph.stop());
+                result.stepsUsed = steps;
+                result.unschedules = unschedules;
+                out.schedule = std::move(result);
             }
-            result.scheduleLength =
-                attempt.schedule().timeOf(graph.stop());
-            result.stepsUsed = steps;
-            result.unschedules = unschedules;
-            outcome.schedule = std::move(result);
-            return outcome;
-        }
-        outcome.totalSteps += budget;
-    }
-    throw support::Error("slack scheduler found no schedule for '" +
-                         loop.name() + "' within " +
-                         std::to_string(options.maxIiIncrease) +
-                         " IIs above the MII");
+            return out;
+        };
+
+    return runIiSearch(
+        options.search, mii.resMii, mii.mii, budget, attempt, counters,
+        /*telemetry=*/nullptr, [&] {
+            return "slack scheduler found no schedule for '" +
+                   loop.name() + "' within " +
+                   std::to_string(options.search.maxIiIncrease) +
+                   " IIs above the MII";
+        });
 }
 
 } // namespace ims::sched

@@ -11,6 +11,17 @@
 namespace ims::sched {
 
 /**
+ * Options for the slack scheduler: just the shared II-search policy
+ * (BudgetRatio, maxIiIncrease, linear vs racing) — the same
+ * IiSearchOptions ModuloScheduleOptions embeds, so the outer-loop knobs
+ * exist exactly once for both algorithms.
+ */
+struct SlackScheduleOptions
+{
+    IiSearchOptions search;
+};
+
+/**
  * A lifetime-sensitive, bidirectional slack modulo scheduler in the
  * style of Huff [18] — the alternative algorithm the paper credits for
  * the minimal cost-to-time-ratio (MinDist) formulation and contrasts
@@ -38,7 +49,7 @@ slackModuloSchedule(const ir::Loop& loop,
                     const machine::MachineModel& machine,
                     const graph::DepGraph& graph,
                     const graph::SccResult& sccs,
-                    const ModuloScheduleOptions& options = {},
+                    const SlackScheduleOptions& options = {},
                     support::Counters* counters = nullptr);
 
 } // namespace ims::sched

@@ -3,6 +3,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace ims::support {
 
@@ -19,6 +20,28 @@ class Error : public std::runtime_error
 {
   public:
     explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/**
+ * An Error carrying a stable machine-readable failure code alongside the
+ * human-readable message — the same code vocabulary the pipeliner's
+ * Diagnostic.code and the fuzzing subsystem use ("sched.ii_exhausted",
+ * "verify.<kind>", ...; see docs/FUZZING.md). Catch sites that surface
+ * errors as structured diagnostics preserve the thrower's code instead of
+ * synthesizing a generic "error.<phase>".
+ */
+class CodedError : public Error
+{
+  public:
+    CodedError(std::string code, const std::string& message)
+        : Error(message), code_(std::move(code))
+    {
+    }
+
+    const std::string& code() const { return code_; }
+
+  private:
+    std::string code_;
 };
 
 /** Throw ims::support::Error with the given message if `condition` fails. */

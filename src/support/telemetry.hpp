@@ -133,6 +133,24 @@ struct PipelineTelemetry
     std::int64_t stepsTotal = 0;
     /** Operations displaced (backtracking; Figure 5's unschedules). */
     std::int64_t backtracks = 0;
+    /** II-search strategy the run used ("linear", "racing"; "" when the
+     *  run failed before scheduling). */
+    std::string iiStrategy;
+    /** Workers the II search ran with (1 for linear). */
+    int iiWorkers = 0;
+    /**
+     * Race observability: attempts actually launched / aborted via the
+     * cancellation token / launched above the winning II. Unlike
+     * `attempts` (the deterministic prefix), these depend on thread
+     * timing and are NOT stable across runs.
+     */
+    int iiAttemptsStarted = 0;
+    int iiAttemptsCancelled = 0;
+    int iiAttemptsWasted = 0;
+    /** Wall-clock vs summed per-attempt time of the II search — their
+     *  ratio is the overlap the racing strategy achieved. */
+    double iiSearchWallSeconds = 0.0;
+    double iiSearchCpuSeconds = 0.0;
     /** End-to-end wall time of the run. */
     double wallSeconds = 0.0;
     /** Every reported phase, in execution order. */

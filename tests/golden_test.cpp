@@ -69,7 +69,7 @@ TEST(GoldenTest, CorpusShapeMatchesTable3Bands)
     const auto corpus = workloads::buildCorpus(spec);
 
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    options.search.budgetRatio = 6.0;
 
     std::vector<double> ops, at_mii, vectorizable, rec_le_res;
     for (const auto& w : corpus) {
@@ -120,7 +120,7 @@ TEST(GoldenTest, BudgetRatioCurveShape)
 
     auto sweep = [&](double budget_ratio) {
         sched::ModuloScheduleOptions options;
-        options.budgetRatio = budget_ratio;
+        options.search.budgetRatio = budget_ratio;
         long long steps = 0, ops = 0;
         double ii_sum = 0.0, mii_sum = 0.0;
         for (const auto& w : corpus) {

@@ -75,17 +75,17 @@ TEST(PipelinerTest, ConservativeDelayModeStillPipelines)
     EXPECT_GE(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
 }
 
-// The pre-request/result signature must keep compiling and behaving until
-// every downstream caller has migrated (docs/api.md has the note).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(PipelinerTest, DeprecatedShimCountersAggregateAcrossPhases)
+// The request/result API is now the only entry point (the deprecated
+// Counters* shim was removed); the telemetry record must carry the same
+// cross-phase counter aggregation the shim used to expose.
+TEST(PipelinerTest, RequestApiCountersAggregateAcrossPhases)
 {
     core::SoftwarePipeliner pipeliner(machine::cydra5());
     const auto w = workloads::kernelByName("state_frag");
-    support::Counters counters;
-    const auto artifacts = pipeliner.pipeline(w.loop, &counters);
+    const auto result = pipeliner.pipeline(core::PipelineRequest(w.loop));
+    const auto& artifacts = result.artifactsOrThrow();
     EXPECT_GE(artifacts.outcome.schedule.ii, artifacts.outcome.mii);
+    const auto& counters = result.telemetry.counters;
     EXPECT_GT(counters.resMiiInspections, 0u);
     EXPECT_GT(counters.minDistInvocations, 0u);
     EXPECT_GT(counters.heightRInnerSteps, 0u);
@@ -93,16 +93,6 @@ TEST(PipelinerTest, DeprecatedShimCountersAggregateAcrossPhases)
     EXPECT_GT(counters.findTimeSlotProbes, 0u);
     EXPECT_GT(counters.scheduleSteps, 0u);
 }
-
-TEST(PipelinerTest, DeprecatedShimStillThrowsOnBadInput)
-{
-    const auto w = workloads::kernelByName("daxpy");
-    core::PipelinerOptions options;
-    options.graph.dsaForm = false; // distance-3 operands are rejected
-    core::SoftwarePipeliner pipeliner(machine::cydra5(), options);
-    EXPECT_THROW(pipeliner.pipeline(w.loop), support::Error);
-}
-#pragma GCC diagnostic pop
 
 TEST(PipelinerTest, RequestResultReportsDiagnosticsInsteadOfThrowing)
 {
@@ -147,11 +137,11 @@ TEST(PipelinerTest, BuilderStyleOptionSettersCompose)
                              .withForwardProgressRule(false)
                              .withDelayMode(graph::DelayMode::kConservative)
                              .withRandomSeed(42);
-    EXPECT_EQ(options.schedule.budgetRatio, 6.0);
+    EXPECT_EQ(options.schedule.search.budgetRatio, 6.0);
     EXPECT_EQ(options.schedule.inner.priority,
               sched::PriorityScheme::kSlack);
     EXPECT_FALSE(options.verify);
-    EXPECT_EQ(options.schedule.maxIiIncrease, 128);
+    EXPECT_EQ(options.schedule.search.maxIiIncrease, 128);
     EXPECT_FALSE(options.schedule.inner.forwardProgressRule);
     EXPECT_EQ(options.graph.delayMode, graph::DelayMode::kConservative);
     EXPECT_EQ(options.schedule.inner.randomSeed, 42u);
@@ -160,6 +150,48 @@ TEST(PipelinerTest, BuilderStyleOptionSettersCompose)
     core::SoftwarePipeliner pipeliner(machine::cydra5(), options);
     const auto result = pipeliner.pipeline(core::PipelineRequest(w.loop));
     EXPECT_TRUE(result.ok());
+}
+
+TEST(PipelinerTest, WithIiSearchSelectsStrategyAndKeepsBudgetKnobs)
+{
+    const auto options = core::PipelinerOptions{}
+                             .withBudgetRatio(6.0)
+                             .withMaxIiIncrease(128)
+                             .withIiSearch(sched::IiSearchKind::kRacing, 4);
+    EXPECT_EQ(options.schedule.search.kind, sched::IiSearchKind::kRacing);
+    EXPECT_EQ(options.schedule.search.threads, 4);
+    // The kind/threads overload must not clobber the budget knobs.
+    EXPECT_EQ(options.schedule.search.budgetRatio, 6.0);
+    EXPECT_EQ(options.schedule.search.maxIiIncrease, 128);
+
+    const auto wholesale = core::PipelinerOptions{}.withIiSearch(
+        sched::IiSearchOptions{}.withKind(sched::IiSearchKind::kRacing)
+            .withBudgetRatio(3.0));
+    EXPECT_EQ(wholesale.schedule.search.kind, sched::IiSearchKind::kRacing);
+    EXPECT_EQ(wholesale.schedule.search.budgetRatio, 3.0);
+
+    const auto w = workloads::kernelByName("daxpy");
+    core::SoftwarePipeliner pipeliner(machine::cydra5(), options);
+    const auto result = pipeliner.pipeline(core::PipelineRequest(w.loop));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.telemetry.iiStrategy, "racing");
+    EXPECT_GE(result.telemetry.iiAttemptsStarted, 1);
+}
+
+TEST(PipelinerTest, IiExhaustionSurfacesStructuredDiagnosticCode)
+{
+    const auto w = workloads::kernelByName("daxpy");
+    // A zero II-increase window above an unreachable MII cannot succeed.
+    core::SoftwarePipeliner pipeliner(
+        machine::cydra5(),
+        core::PipelinerOptions{}.withIiSearch(
+            sched::IiSearchOptions{}.withMaxIiIncrease(0).withBudgetRatio(
+                0.001)));
+    const auto result = pipeliner.pipeline(core::PipelineRequest(w.loop));
+    ASSERT_FALSE(result.ok());
+    ASSERT_FALSE(result.diagnostics.empty());
+    EXPECT_EQ(result.diagnostics[0].code, "sched.ii_exhausted");
+    EXPECT_NE(result.firstError().find("daxpy"), std::string::npos);
 }
 
 TEST(PipelinerTest, MachineSweepAllKernels)

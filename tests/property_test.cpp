@@ -311,9 +311,9 @@ TEST_P(BudgetProperty, LargerBudgetNeverWorsensIi)
         const auto g = graph::buildDepGraph(loop, machine);
         const auto sccs = graph::findSccs(g);
         sched::ModuloScheduleOptions tight;
-        tight.budgetRatio = 1.0;
+        tight.search.budgetRatio = 1.0;
         sched::ModuloScheduleOptions generous;
-        generous.budgetRatio = 8.0;
+        generous.search.budgetRatio = 8.0;
         const auto a = sched::moduloSchedule(loop, machine, g, sccs, tight);
         const auto b =
             sched::moduloSchedule(loop, machine, g, sccs, generous);

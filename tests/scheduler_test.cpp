@@ -73,7 +73,7 @@ TEST(IterativeSchedulerTest, BudgetExhaustionRecoversAtLargerIi)
 {
     Context ctx("div_kernel");
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 2.0;
+    options.search.budgetRatio = 2.0;
     const auto outcome = sched::moduloSchedule(ctx.loop, ctx.machine,
                                                ctx.graph, ctx.sccs, options);
     EXPECT_GE(outcome.schedule.ii, outcome.mii);
@@ -135,7 +135,7 @@ TEST(ModuloSchedulerTest, BudgetRatioSixMatchesPaperQualitySetup)
     // reach II = MII with it.
     const auto machine = machine::cydra5();
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    options.search.budgetRatio = 6.0;
     for (const auto& w : workloads::kernelLibrary()) {
         const auto graph = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(graph);
@@ -149,7 +149,7 @@ TEST(ModuloSchedulerTest, InvalidBudgetRatioRejected)
 {
     Context ctx("daxpy");
     sched::ModuloScheduleOptions options;
-    options.budgetRatio = 0.0;
+    options.search.budgetRatio = 0.0;
     EXPECT_THROW(sched::moduloSchedule(ctx.loop, ctx.machine, ctx.graph,
                                        ctx.sccs, options),
                  support::Error);
@@ -177,7 +177,7 @@ TEST(ModuloSchedulerTest, PriorityAblationStillProducesLegalSchedules)
         options.inner.priority = scheme;
         // Weak priority functions displace far more (that is the point of
         // the ablation); give them the paper's quality budget.
-        options.budgetRatio = 6.0;
+        options.search.budgetRatio = 6.0;
         const auto outcome =
             sched::moduloSchedule(w.loop, machine, graph, sccs, options);
         EXPECT_TRUE(sched::verifySchedule(w.loop, machine, graph,

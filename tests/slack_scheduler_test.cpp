@@ -20,8 +20,8 @@ using namespace ims;
 TEST(SlackSchedulerTest, AllKernelsScheduleVerifyAndSimulate)
 {
     const auto machine = machine::cydra5();
-    sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    sched::SlackScheduleOptions options;
+    options.search.budgetRatio = 6.0;
     for (const auto& w : workloads::kernelLibrary()) {
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
@@ -44,8 +44,8 @@ TEST(SlackSchedulerTest, AllKernelsScheduleVerifyAndSimulate)
 TEST(SlackSchedulerTest, ReachesMiiOnEasyKernels)
 {
     const auto machine = machine::cydra5();
-    sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    sched::SlackScheduleOptions options;
+    options.search.budgetRatio = 6.0;
     for (const char* name :
          {"daxpy", "vec_copy", "init_store", "dot_raw", "tridiag"}) {
         const auto w = workloads::kernelByName(name);
@@ -60,8 +60,8 @@ TEST(SlackSchedulerTest, ReachesMiiOnEasyKernels)
 TEST(SlackSchedulerTest, RandomLoopsProperty)
 {
     const auto machine = machine::cydra5();
-    sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    sched::SlackScheduleOptions options;
+    options.search.budgetRatio = 6.0;
     support::Rng rng(424242);
     for (int k = 0; k < 40; ++k) {
         const auto loop =
@@ -85,8 +85,8 @@ TEST(SlackSchedulerTest, RandomLoopsProperty)
 
 TEST(SlackSchedulerTest, WorksAcrossMachines)
 {
-    sched::ModuloScheduleOptions options;
-    options.budgetRatio = 6.0;
+    sched::SlackScheduleOptions options;
+    options.search.budgetRatio = 6.0;
     for (const auto& machine :
          {machine::clean64(), machine::wideVliw(), machine::scalarToy()}) {
         const auto w = workloads::kernelByName("state_frag");
@@ -107,8 +107,8 @@ TEST(SlackSchedulerTest, InvalidBudgetRejected)
     const auto w = workloads::kernelByName("daxpy");
     const auto g = graph::buildDepGraph(w.loop, machine);
     const auto sccs = graph::findSccs(g);
-    sched::ModuloScheduleOptions options;
-    options.budgetRatio = 0.0;
+    sched::SlackScheduleOptions options;
+    options.search.budgetRatio = 0.0;
     EXPECT_THROW(sched::slackModuloSchedule(w.loop, machine, g, sccs,
                                             options),
                  support::Error);

@@ -202,28 +202,28 @@ TEST(TelemetryTest, TableRendersOneRowPerRecord)
     EXPECT_NE(text.find("MII"), std::string::npos);
 }
 
-TEST(TelemetryTest, ShimAndRequestApiCountersAgree)
+// Counters must be a pure function of the request: two runs of the same
+// request through the request/result API (the only entry point now that the
+// deprecated Counters* shim is gone) report identical counter totals.
+TEST(TelemetryTest, RepeatedRequestsReportIdenticalCounters)
 {
     const auto w = workloads::kernelByName("state_frag");
     core::SoftwarePipeliner pipeliner(machine::cydra5());
 
-    const auto result = pipeliner.pipeline(core::PipelineRequest(w.loop));
-    ASSERT_TRUE(result.ok());
+    const auto first = pipeliner.pipeline(core::PipelineRequest(w.loop));
+    const auto second = pipeliner.pipeline(core::PipelineRequest(w.loop));
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    support::Counters shim_counters;
-    pipeliner.pipeline(w.loop, &shim_counters);
-#pragma GCC diagnostic pop
-
-    EXPECT_EQ(result.telemetry.counters.scheduleSteps,
-              shim_counters.scheduleSteps);
-    EXPECT_EQ(result.telemetry.counters.unscheduleSteps,
-              shim_counters.unscheduleSteps);
-    EXPECT_EQ(result.telemetry.counters.findTimeSlotProbes,
-              shim_counters.findTimeSlotProbes);
-    EXPECT_EQ(result.telemetry.counters.minDistInnerSteps,
-              shim_counters.minDistInnerSteps);
+    EXPECT_EQ(first.telemetry.counters.scheduleSteps,
+              second.telemetry.counters.scheduleSteps);
+    EXPECT_EQ(first.telemetry.counters.unscheduleSteps,
+              second.telemetry.counters.unscheduleSteps);
+    EXPECT_EQ(first.telemetry.counters.findTimeSlotProbes,
+              second.telemetry.counters.findTimeSlotProbes);
+    EXPECT_EQ(first.telemetry.counters.minDistInnerSteps,
+              second.telemetry.counters.minDistInnerSteps);
+    EXPECT_GT(first.telemetry.counters.scheduleSteps, 0u);
 }
 
 } // namespace

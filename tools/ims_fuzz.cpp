@@ -24,6 +24,12 @@
  *                          "none" disables writing)
  *   --no-minimize          keep findings at their generated size
  *   --trips <a,b,c>        sim-oracle trip counts (default 0,1,2,5,17)
+ *   --ii-search <linear|racing>  II search strategy the pipeline under
+ *                          test uses; racing must be bit-identical to
+ *                          linear, so the campaign's thread-invariance
+ *                          and sim-equivalence oracles double as a
+ *                          determinism check for the race
+ *   --ii-threads <n>       racing worker count per case (0 = hardware)
  *   --inject-delay-fault   enable the deliberate dependence-delay bug
  *                          (memory flow delays forced to 0) to prove the
  *                          oracle + minimizer path end to end
@@ -36,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeliner.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/oracles.hpp"
 #include "fuzz/reproducer.hpp"
@@ -59,6 +66,8 @@ struct CliOptions
     std::string reproDir = "tests/repro";
     bool minimize = true;
     std::vector<int> trips = {0, 1, 2, 5, 17};
+    std::string iiSearch = "linear";
+    int iiThreads = 0;
     bool injectDelayFault = false;
     std::string replayFile;
 };
@@ -73,6 +82,8 @@ usage(int code)
            "                [--out <file|->] [--repro-dir <dir|none>]\n"
            "                [--no-minimize] [--trips a,b,c] "
            "[--inject-delay-fault]\n"
+           "                [--ii-search linear|racing] "
+           "[--ii-threads N]\n"
            "       ims-fuzz --replay <file.repro>\n";
     std::exit(code);
 }
@@ -142,6 +153,10 @@ parseArgs(int argc, char** argv)
             options.minimize = false;
         else if (arg == "--trips")
             options.trips = parseTrips(next("a trip list"));
+        else if (arg == "--ii-search")
+            options.iiSearch = next("a strategy name");
+        else if (arg == "--ii-threads")
+            options.iiThreads = std::stoi(next("a thread count"));
         else if (arg == "--inject-delay-fault")
             options.injectDelayFault = true;
         else if (arg == "--replay")
@@ -154,6 +169,18 @@ parseArgs(int argc, char** argv)
         }
     }
     return options;
+}
+
+core::PipelinerOptions
+pipelineOptions(const CliOptions& options)
+{
+    const auto kind = sched::iiSearchKindByName(options.iiSearch);
+    if (!kind) {
+        std::cerr << "unknown II search strategy '" << options.iiSearch
+                  << "'\n";
+        usage(2);
+    }
+    return core::PipelinerOptions{}.withIiSearch(*kind, options.iiThreads);
 }
 
 int
@@ -169,7 +196,7 @@ replay(const CliOptions& options)
     oracle.trips = options.trips;
     oracle.simSeed = repro.simSeed;
     const fuzz::OracleVerdict verdict =
-        fuzz::runOracles(loop, machine, core::PipelinerOptions{}, oracle);
+        fuzz::runOracles(loop, machine, pipelineOptions(options), oracle);
 
     std::cout << options.replayFile << ": recorded code '" << repro.code
               << "'\n";
@@ -206,6 +233,7 @@ main(int argc, char** argv)
         campaign.reproDir =
             options.reproDir == "none" ? "" : options.reproDir;
         campaign.oracle.trips = options.trips;
+        campaign.pipeline = pipelineOptions(options);
         if (!options.machine.empty())
             campaign.machineText = machineText(options.machine);
 

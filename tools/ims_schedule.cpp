@@ -13,6 +13,10 @@
  *   --budget-ratio <r>       BudgetRatio (default 2.0; the paper's
  *                            quality studies use 6)
  *   --priority heightr|slack|source-order|random    (default heightr)
+ *   --ii-search linear|racing   II search strategy (default linear;
+ *                            racing is deterministic — bit-identical
+ *                            results at any thread count)
+ *   --ii-threads <n>         racing worker count (0 = hardware)
  *   --listing                print the full prologue/kernel/epilogue
  *   --kernel-only            print the [36] kernel-only schema instead
  *   --trace                  print the per-step scheduling trace
@@ -51,6 +55,8 @@ struct CliOptions
     std::string machine = "cydra5";
     double budgetRatio = 2.0;
     std::string priority = "heightr";
+    std::string iiSearch = "linear";
+    int iiThreads = 0;
     bool listing = false;
     bool kernelOnly = false;
     bool trace = false;
@@ -72,6 +78,7 @@ usage(int code)
            "  --machine cydra5|clean64|wide-vliw|scalar-toy\n"
            "  --budget-ratio <r>   --priority "
            "heightr|slack|source-order|random\n"
+           "  --ii-search linear|racing  --ii-threads <n>\n"
            "  --listing  --kernel-only  --trace  --telemetry  "
            "--simulate <trip>  --verify  --quiet\n";
     std::exit(code);
@@ -126,6 +133,10 @@ parseArgs(int argc, char** argv)
             options.budgetRatio = std::stod(next("a ratio"));
         else if (arg == "--priority")
             options.priority = next("a scheme");
+        else if (arg == "--ii-search")
+            options.iiSearch = next("a strategy name");
+        else if (arg == "--ii-threads")
+            options.iiThreads = std::stoi(next("a thread count"));
         else if (arg == "--listing")
             options.listing = true;
         else if (arg == "--kernel-only")
@@ -178,7 +189,14 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
             const machine::MachineModel& machine)
 {
     core::PipelinerOptions pipeline_options;
-    pipeline_options.schedule.budgetRatio = options.budgetRatio;
+    pipeline_options.schedule.search.budgetRatio = options.budgetRatio;
+    const auto search_kind = sched::iiSearchKindByName(options.iiSearch);
+    if (!search_kind) {
+        std::cerr << "unknown II search strategy '" << options.iiSearch
+                  << "'\n";
+        usage(2);
+    }
+    pipeline_options.withIiSearch(*search_kind, options.iiThreads);
     pipeline_options.schedule.inner.priority =
         priorityByName(options.priority);
     if (options.verify)
