@@ -28,7 +28,7 @@ main()
     using namespace ims::bench;
 
     const auto machine = machine::cydra5();
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 6.0;
 
     support::TextTable table(
@@ -43,7 +43,7 @@ main()
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
         const auto outcome =
-            sched::moduloSchedule(w.loop, machine, g, sccs, options);
+            sched::schedule(w.loop, machine, g, sccs, options);
         const auto code =
             codegen::generateCode(w.loop, machine, outcome.schedule);
         const auto kernel_only =

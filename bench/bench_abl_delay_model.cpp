@@ -100,10 +100,10 @@ run(const std::vector<ir::Loop>& loops,
         graph_options.dsaForm = dsa_form;
         const auto g = graph::buildDepGraph(loop, machine, graph_options);
         const auto sccs = graph::findSccs(g);
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = 6.0;
         const auto outcome =
-            sched::moduloSchedule(loop, machine, g, sccs, options);
+            sched::schedule(loop, machine, g, sccs, options);
         agg.mean_mii += outcome.mii;
         agg.mean_ii += outcome.schedule.ii;
         ++agg.count;

@@ -30,9 +30,9 @@ main()
                      "Steps/op", "Unschedules/op", "Mean attempts"});
 
     for (const bool rule : {true, false}) {
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = 2.0;
-        options.inner.forwardProgressRule = rule;
+        options.forwardProgressRule = rule;
         const auto records = measureCorpus(corpus, machine, options);
         int at_mii = 0;
         double ii_ratio = 0.0, attempts = 0.0;

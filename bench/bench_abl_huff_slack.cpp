@@ -11,7 +11,7 @@
 #include "codegen/lifetimes.hpp"
 #include "codegen/mve.hpp"
 #include "common.hpp"
-#include "sched/slack_scheduler.hpp"
+#include "sched/schedule.hpp"
 
 namespace {
 
@@ -42,9 +42,10 @@ main()
     spec.lfkLoops = 27;
     const auto corpus = workloads::buildCorpus(spec);
 
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 6.0;
-    sched::SlackScheduleOptions slack_options;
+    sched::ScheduleOptions slack_options;
+    slack_options.strategy = sched::SchedulerStrategy::kSlack;
     slack_options.search = options.search;
 
     Row ims_row, huff_row;
@@ -77,10 +78,10 @@ main()
             ++row.loops;
         };
 
-        account(ims_row, sched::moduloSchedule(w.loop, machine, g, sccs,
-                                               options));
-        account(huff_row, sched::slackModuloSchedule(w.loop, machine, g,
-                                                     sccs, slack_options));
+        account(ims_row,
+                sched::schedule(w.loop, machine, g, sccs, options));
+        account(huff_row,
+                sched::schedule(w.loop, machine, g, sccs, slack_options));
     }
 
     support::TextTable table(

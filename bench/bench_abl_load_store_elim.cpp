@@ -18,7 +18,7 @@ main()
     using namespace ims::bench;
 
     const auto machine = machine::cydra5();
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 6.0;
 
     support::TextTable table(
@@ -29,7 +29,7 @@ main()
     auto run = [&](const ir::Loop& loop) {
         const auto g = graph::buildDepGraph(loop, machine);
         const auto sccs = graph::findSccs(g);
-        return sched::moduloSchedule(loop, machine, g, sccs, options);
+        return sched::schedule(loop, machine, g, sccs, options);
     };
 
     for (const char* name : {"mem_recurrence", "daxpy", "vec_copy"}) {

@@ -31,7 +31,7 @@ main()
     }
     table.addHeader(header);
 
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 6.0;
 
     for (const auto& w : corpus) {

@@ -35,9 +35,9 @@ main()
          {sched::PriorityScheme::kHeightR, sched::PriorityScheme::kSlack,
           sched::PriorityScheme::kSourceOrder,
           sched::PriorityScheme::kRandom}) {
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = 6.0;
-        options.inner.priority = scheme;
+        options.priority = scheme;
         const auto records = measureCorpus(corpus, machine, options);
 
         int at_mii = 0;

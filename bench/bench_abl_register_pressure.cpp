@@ -39,11 +39,11 @@ run(const std::vector<workloads::Workload>& corpus,
         const auto& w = corpus[k];
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = 6.0;
-        options.inner.priority = scheme;
+        options.priority = scheme;
         const auto outcome =
-            sched::moduloSchedule(w.loop, machine, g, sccs, options);
+            sched::schedule(w.loop, machine, g, sccs, options);
         const auto lifetimes =
             codegen::analyzeLifetimes(w.loop, machine, outcome.schedule);
         const auto mve =
@@ -77,7 +77,7 @@ main()
     // Reference IIs from the default configuration.
     std::vector<int> reference_ii;
     for (const auto& w : corpus) {
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = 6.0;
         reference_ii.push_back(
             measureLoop(w, machine, options).ii);

@@ -43,7 +43,7 @@ main()
 
     for (const char* name : kernels) {
         const auto w = workloads::kernelByName(name);
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = 6.0;
         const auto record = measureLoop(w, machine, options);
 
@@ -63,7 +63,7 @@ main()
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
         const auto outcome =
-            sched::moduloSchedule(w.loop, machine, g, sccs, options);
+            sched::schedule(w.loop, machine, g, sccs, options);
         const auto code =
             codegen::generateCode(w.loop, machine, outcome.schedule);
         const double modulo_code =
@@ -95,7 +95,7 @@ main()
         const auto w = workloads::kernelByName(name);
         std::vector<std::string> row = {name};
         {
-            sched::ModuloScheduleOptions options;
+            sched::ScheduleOptions options;
             options.search.budgetRatio = 6.0;
             const auto record = measureLoop(w, machine, options);
             row.push_back(std::to_string(record.resMii));
@@ -103,12 +103,12 @@ main()
         }
         for (int f : {2, 4}) {
             const auto unrolled = transform::unrollLoop(w.loop, f);
-            sched::ModuloScheduleOptions options;
+            sched::ScheduleOptions options;
             options.search.budgetRatio = 6.0;
             const auto g = graph::buildDepGraph(unrolled, machine);
             const auto sccs = graph::findSccs(g);
-            const auto outcome = sched::moduloSchedule(unrolled, machine,
-                                                       g, sccs, options);
+            const auto outcome =
+                sched::schedule(unrolled, machine, g, sccs, options);
             row.push_back(support::formatDouble(
                 static_cast<double>(outcome.schedule.ii) / f, 2));
         }

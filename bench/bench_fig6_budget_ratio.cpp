@@ -38,7 +38,7 @@ main()
     double best_budget = 0.0, best_score = 1e30;
     for (int step = 0; step <= 12; ++step) {
         const double budget_ratio = 1.0 + 0.25 * step;
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = budget_ratio;
         const auto records = measureCorpus(corpus, machine, options);
 
@@ -86,7 +86,7 @@ main()
     // unrolling scheme must stay within this code replication to match
     // the scheduling effort (paper: 2.18x = 1.59 + 0.59).
     {
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = 2.0;
         const auto records = measureCorpus(corpus, machine, options);
         long long steps = 0, ops = 0, unschedules = 0;

@@ -39,7 +39,7 @@
 
 #include "machine/machines.hpp"
 #include "support/error.hpp"
-#include "sched/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "transform/unroll.hpp"
@@ -110,7 +110,7 @@ calibrateWorkloads(const machine::MachineModel& machine, int want,
         auto loop = workloads::generateLoop(
             rng, "hard_" + std::to_string(i), profile);
         try {
-            const auto outcome = sched::moduloSchedule(loop, machine);
+            const auto outcome = sched::schedule(loop, machine);
             if (outcome.attempts < min_attempts)
                 continue;
         } catch (const support::Error&) {
@@ -199,13 +199,13 @@ main(int argc, char** argv)
 
         // Linear reference (also warms the allocator caches).
         {
-            sched::ModuloScheduleOptions options;
+            sched::ScheduleOptions options;
             Measurement m;
             m.strategy = "linear";
             const auto start = Clock::now();
             for (int r = 0; r < repeats; ++r) {
                 const auto outcome =
-                    sched::moduloSchedule(loop, machine, options);
+                    sched::schedule(loop, machine, options);
                 m.searchSeconds += outcome.search.wallSeconds;
                 result.mii = outcome.mii;
                 result.ii = outcome.schedule.ii;
@@ -219,7 +219,7 @@ main(int argc, char** argv)
         const double linear_wall = result.measurements[0].wallSeconds;
 
         for (const int threads : thread_counts) {
-            sched::ModuloScheduleOptions options;
+            sched::ScheduleOptions options;
             options.search.withKind(sched::IiSearchKind::kRacing)
                 .withThreads(threads);
             Measurement m;
@@ -228,7 +228,7 @@ main(int argc, char** argv)
             const auto start = Clock::now();
             for (int r = 0; r < repeats; ++r) {
                 const auto outcome =
-                    sched::moduloSchedule(loop, machine, options);
+                    sched::schedule(loop, machine, options);
                 m.searchSeconds += outcome.search.wallSeconds;
                 // Identity gate: bit-identical to the linear search, on
                 // every run, at every thread count.

@@ -14,7 +14,7 @@
 #include "mii/mii.hpp"
 #include "mii/min_dist.hpp"
 #include "sched/height_r.hpp"
-#include "sched/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "support/rng.hpp"
 #include "workloads/kernels.hpp"
 #include "workloads/random_loops.hpp"
@@ -98,10 +98,10 @@ BM_ModuloSchedule(benchmark::State& state)
     const auto loop = loopOfSize(static_cast<int>(state.range(0)));
     const auto g = graph::buildDepGraph(loop, cydra());
     const auto sccs = graph::findSccs(g);
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     for (auto _ : state) {
         auto outcome =
-            sched::moduloSchedule(loop, cydra(), g, sccs, options);
+            sched::schedule(loop, cydra(), g, sccs, options);
         benchmark::DoNotOptimize(outcome.schedule.ii);
     }
 }
@@ -111,10 +111,10 @@ BM_FullPipelineOverKernels(benchmark::State& state)
 {
     // End-to-end throughput across the whole kernel suite (loops/sec).
     const auto corpus = workloads::kernelLibrary();
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     for (auto _ : state) {
         for (const auto& w : corpus) {
-            auto outcome = sched::moduloSchedule(w.loop, cydra(), options);
+            auto outcome = sched::schedule(w.loop, cydra(), options);
             benchmark::DoNotOptimize(outcome.schedule.ii);
         }
     }

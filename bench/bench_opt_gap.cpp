@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Heuristic-vs-optimal II gap, measured with the exact branch-and-bound
+ * backend (sched/exact_scheduler.hpp). For every kernel-corpus loop, and
+ * for a fixed-seed stream of fuzz-profile loops, the iterative heuristic
+ * is run first and the exact backend then proves the true minimal
+ * feasible II — capped at the heuristic II, which is known feasible, so
+ * the proof costs at most (gap + 1) attempts. The per-loop gap
+ * (heuristic II - optimal II) is the price of the paper's O(budget)
+ * heuristic; Rau's claim is that it is almost always zero.
+ *
+ * A loop whose exact search exhausts its node budget is reported as
+ * undecided, never counted as a gap. An exact II *above* the verified
+ * heuristic II is a soundness bug in the exact backend and fails the
+ * bench.
+ *
+ * Usage:
+ *   bench_opt_gap [--out PATH] [--budget N] [--random-loops N] [--quick]
+ */
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "machine/cydra5.hpp"
+#include "sched/schedule.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace {
+
+using namespace ims;
+
+struct Row
+{
+    std::string name;
+    std::string kind; // "kernel" or "random"
+    int ops = 0;
+    int mii = 0;
+    int heuristicIi = 0;
+    int exactIi = -1; // -1: undecided (budget exhausted)
+    int gap = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out_path = "BENCH_opt_gap.json";
+    std::int64_t budget = sched::kDefaultExactNodeBudget;
+    int random_loops = 200;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc)
+            budget = std::atoll(argv[++i]);
+        else if (std::strcmp(argv[i], "--random-loops") == 0 && i + 1 < argc)
+            random_loops = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else {
+            std::cerr << "usage: bench_opt_gap [--out PATH] [--budget N] "
+                         "[--random-loops N] [--quick]\n";
+            return 2;
+        }
+    }
+    if (quick)
+        random_loops = std::min(random_loops, 40);
+
+    const auto machine = machine::cydra5();
+    const sched::ScheduleOptions heuristic;
+
+    int soundness_violations = 0;
+    std::vector<Row> rows;
+    auto measure = [&](const ir::Loop& loop, const std::string& kind) {
+        Row row;
+        row.name = loop.name();
+        row.kind = kind;
+        row.ops = loop.size();
+        const auto reference = sched::schedule(loop, machine, heuristic);
+        row.mii = reference.mii;
+        row.heuristicIi = reference.schedule.ii;
+
+        sched::ScheduleOptions exact;
+        exact.strategy = sched::SchedulerStrategy::kExact;
+        exact.exactNodeBudget = budget;
+        // The heuristic II is feasible, so the exact search never needs
+        // to look above it.
+        exact.search.maxIiIncrease =
+            std::max(0, row.heuristicIi - row.mii);
+        try {
+            const auto proven = sched::schedule(loop, machine, exact);
+            row.exactIi = proven.schedule.ii;
+            row.gap = row.heuristicIi - row.exactIi;
+            if (row.gap < 0) {
+                std::cerr << "soundness violation: exact II "
+                          << row.exactIi << " above verified heuristic II "
+                          << row.heuristicIi << " on " << row.name << "\n";
+                ++soundness_violations;
+            }
+        } catch (const support::CodedError& error) {
+            if (error.code() != "exact.budget_exhausted")
+                throw;
+            // undecided: exactIi stays -1, gap stays 0
+        }
+        rows.push_back(std::move(row));
+    };
+
+    for (const auto& w : workloads::kernelLibrary())
+        measure(w.loop, "kernel");
+    {
+        support::Rng rng(20260806);
+        const auto profile = workloads::fuzzProfile();
+        for (int i = 0; i < random_loops; ++i)
+            measure(workloads::generateLoop(
+                        rng, "rand_" + std::to_string(i), profile),
+                    "random");
+    }
+
+    int decided = 0, undecided = 0, gaps = 0, max_gap = 0;
+    long long gap_sum = 0;
+    for (const auto& row : rows) {
+        if (row.exactIi < 0) {
+            ++undecided;
+            continue;
+        }
+        ++decided;
+        if (row.gap > 0) {
+            ++gaps;
+            gap_sum += row.gap;
+            max_gap = std::max(max_gap, row.gap);
+        }
+    }
+
+    support::TextTable table(
+        "heuristic vs proven-optimal II (" + machine.name() + ", " +
+        std::to_string(rows.size()) + " loops, budget " +
+        std::to_string(budget) + ")");
+    table.addHeader(
+        {"loop", "kind", "ops", "MII", "heuristic II", "exact II", "gap"});
+    for (const auto& row : rows) {
+        if (row.kind != "kernel" && row.gap == 0 && row.exactIi >= 0)
+            continue; // random loops: only the interesting rows
+        table.addRow({row.name, row.kind, std::to_string(row.ops),
+                      std::to_string(row.mii),
+                      std::to_string(row.heuristicIi),
+                      row.exactIi < 0 ? "undecided"
+                                      : std::to_string(row.exactIi),
+                      std::to_string(row.gap)});
+    }
+    table.print(std::cout);
+    std::cout << decided << " decided, " << undecided << " undecided, "
+              << gaps << " loops with a gap (max " << max_gap
+              << ", total " << gap_sum << ")\n";
+
+    {
+        std::ofstream out(out_path);
+        out << "{\n  \"schema\": \"ims.bench_opt_gap.v1\",\n"
+            << "  \"machine\": \"" << machine.name() << "\",\n"
+            << "  \"budget\": " << budget << ",\n"
+            << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+            << "  \"decided\": " << decided << ",\n"
+            << "  \"undecided\": " << undecided << ",\n"
+            << "  \"loops_with_gap\": " << gaps << ",\n"
+            << "  \"max_gap\": " << max_gap << ",\n"
+            << "  \"soundness_violations\": " << soundness_violations
+            << ",\n  \"loops\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto& row = rows[i];
+            out << "    {\"name\": \"" << row.name << "\", \"kind\": \""
+                << row.kind << "\", \"ops\": " << row.ops
+                << ", \"mii\": " << row.mii << ", \"heuristic_ii\": "
+                << row.heuristicIi << ", \"exact_ii\": " << row.exactIi
+                << ", \"gap\": " << row.gap << "}"
+                << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+    }
+    std::cout << "wrote " << out_path << "\n";
+
+    if (soundness_violations != 0)
+        return 1;
+    // Acceptance: every kernel-corpus loop must be decided within the
+    // default budget.
+    for (const auto& row : rows) {
+        if (row.kind == "kernel" && row.exactIi < 0) {
+            std::cerr << "bench_opt_gap: kernel " << row.name
+                      << " undecided within budget\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -38,7 +38,7 @@
 #include "graph/graph_builder.hpp"
 #include "graph/scc.hpp"
 #include "machine/cydra5.hpp"
-#include "sched/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "sched/mrt.hpp"
 #include "support/table.hpp"
 #include "transform/unroll.hpp"
@@ -174,7 +174,7 @@ measureIdentity()
         const auto graph = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(graph);
         const auto outcome =
-            sched::moduloSchedule(w.loop, machine, graph, sccs);
+            sched::schedule(w.loop, machine, graph, sccs);
         IdentityRecord record;
         record.name = w.loop.name();
         record.ii = outcome.schedule.ii;
@@ -260,6 +260,10 @@ checkIdentity(const std::vector<IdentityRecord>& current,
 struct SchedSample
 {
     std::string name;
+    /** Backend that actually ran ("iterative" on the hot path — the
+     *  exact backend must never be selected here; check_perf asserts
+     *  on this field). */
+    std::string scheduler;
     int ops = 0;
     int ii = 0;
     int repeats = 0;
@@ -279,13 +283,14 @@ measureScheduler(const ir::Loop& loop, const machine::MachineModel& machine,
 
     const auto graph = graph::buildDepGraph(loop, machine);
     const auto sccs = graph::findSccs(graph);
-    const sched::ModuloScheduleOptions options;
+    const sched::ScheduleOptions options;
 
     const auto start = Clock::now();
     for (int i = 0; i < repeats; ++i) {
         const auto outcome =
-            sched::moduloSchedule(loop, machine, graph, sccs, options);
+            sched::schedule(loop, machine, graph, sccs, options);
         sample.ii = outcome.schedule.ii;
+        sample.scheduler = outcome.scheduler;
         sample.steps += outcome.totalSteps;
     }
     sample.wallSeconds = secondsSince(start);
@@ -563,7 +568,8 @@ main(int argc, char** argv)
             << "  \"sched\": [\n";
         for (std::size_t i = 0; i < sched_samples.size(); ++i) {
             const auto& s = sched_samples[i];
-            out << "    {\"name\": \"" << s.name << "\", \"ops\": "
+            out << "    {\"name\": \"" << s.name << "\", \"scheduler\": \""
+                << s.scheduler << "\", \"ops\": "
                 << s.ops << ", \"ii\": " << s.ii << ", \"repeats\": "
                 << s.repeats << ", \"steps\": " << s.steps
                 << ", \"wall_seconds\": " << s.wallSeconds

@@ -25,7 +25,7 @@ main()
     const auto machine = machine::cydra5();
     const auto corpus = workloads::buildCorpus();
 
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 6.0; // the paper's quality-study setting
 
     std::cout << "Scheduling " << corpus.size() << " loops ("

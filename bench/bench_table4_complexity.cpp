@@ -29,7 +29,7 @@ main()
 
     const auto machine = machine::cydra5();
     const auto corpus = workloads::buildCorpus();
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 2.0;
 
     const auto records = measureCorpus(corpus, machine, options);

@@ -11,7 +11,7 @@
 #include "mii/mii.hpp"
 #include "mii/min_dist.hpp"
 #include "sched/list_scheduler.hpp"
-#include "sched/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "sched/verifier.hpp"
 #include "support/counters.hpp"
 #include "support/error.hpp"
@@ -60,7 +60,7 @@ struct LoopRecord
 inline LoopRecord
 measureLoop(const workloads::Workload& workload,
             const machine::MachineModel& machine,
-            const sched::ModuloScheduleOptions& options)
+            const sched::ScheduleOptions& options)
 {
     const ir::Loop& loop = workload.loop;
     LoopRecord record;
@@ -84,8 +84,8 @@ measureLoop(const workloads::Workload& workload,
 
     record.trueRecMii = mii::computeTrueRecMii(graph, sccs);
 
-    const auto outcome = sched::moduloSchedule(loop, machine, graph, sccs,
-                                               options, &record.counters);
+    const auto outcome = sched::schedule(loop, machine, graph, sccs,
+                                         options, &record.counters);
     record.resMii = outcome.resMii;
     record.mii = outcome.mii;
     record.ii = outcome.schedule.ii;
@@ -115,7 +115,7 @@ measureLoop(const workloads::Workload& workload,
 inline std::vector<LoopRecord>
 measureCorpus(const std::vector<workloads::Workload>& corpus,
               const machine::MachineModel& machine,
-              const sched::ModuloScheduleOptions& options)
+              const sched::ScheduleOptions& options)
 {
     std::vector<LoopRecord> records;
     records.reserve(corpus.size());

@@ -43,4 +43,17 @@ echo "== bench_ii_search (racing identity + hardware-gated speedup) =="
 "$BUILD_DIR/bench/bench_ii_search" \
     --out "$BUILD_DIR/BENCH_ii_search.json"
 
+echo "== scheduler backend gate (exact must stay off the hot path) =="
+# The hot-path configurations use default options, which select the
+# iterative backend; the exact branch-and-bound backend is an optimality
+# prover, not a production scheduler, and must never end up here.
+if grep -q '"scheduler": "exact"' "$BUILD_DIR/BENCH_sched_hotpath.json"; then
+    echo "check_perf: exact backend selected on a hot-path config" >&2
+    exit 1
+fi
+if ! grep -q '"scheduler": "iterative"' "$BUILD_DIR/BENCH_sched_hotpath.json"; then
+    echo "check_perf: hot-path samples missing the iterative backend" >&2
+    exit 1
+fi
+
 echo "perf: all checks passed"

@@ -44,6 +44,21 @@ if [ "${IMS_CI_SKIP_FUZZ:-0}" != "1" ]; then
     build/tools/ims-fuzz --seed 20260806 --cases "${FUZZ_BUDGET:-500}" \
         --ii-search racing --ii-threads 2 \
         --repro-dir build/fuzz-repro --out build/fuzz-report.json
+    # Optimality smoke: re-pipeline each clean case with the exact
+    # backend (capped node budget; budget-exhausted searches are
+    # skipped). opt.ii_gap findings are *known heuristic quality gaps*
+    # (Rau: near-optimal, not optimal) and are tolerated; any other code
+    # — opt.exact_invalid above all, an unsound exact proof — fails the
+    # stage.
+    build/tools/ims-fuzz --seed 20260806 --cases "${OPT_GAP_BUDGET:-150}" \
+        --machine cydra5 --oracle opt.ii_gap --exact-budget 100000 \
+        --repro-dir build/fuzz-repro \
+        --out build/fuzz-optgap-report.json || true
+    if grep -o '"code":"[^"]*"' build/fuzz-optgap-report.json \
+            | grep -v '"code":"opt.ii_gap"'; then
+        echo "ci: optimality smoke found non-gap findings" >&2
+        exit 1
+    fi
 else
     echo "==== stage 4/4: differential fuzz smoke (skipped) ===="
 fi

@@ -154,7 +154,7 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
     support::TelemetryRecorder recorder;
     support::TeeSink sink(&recorder, external);
     support::Counters counters;
-    options.schedule.inner.telemetry = &sink;
+    options.schedule.telemetry = &sink;
 
     result.telemetry.loop = loop.name();
     result.telemetry.ops = loop.size();
@@ -168,8 +168,8 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
 
         phase = support::phaseName(support::Phase::kMiiBounds);
         sched::ModuloScheduleOutcome outcome =
-            sched::moduloSchedule(loop, machine_, dep_graph, sccs,
-                                  options.schedule, &counters);
+            sched::schedule(loop, machine_, dep_graph, sccs,
+                            options.schedule, &counters);
 
         result.telemetry.resMii = outcome.resMii;
         result.telemetry.mii = outcome.mii;
@@ -179,12 +179,15 @@ SoftwarePipeliner::pipeline(const PipelineRequest& request) const
         result.telemetry.budget = outcome.budget;
         result.telemetry.stepsTotal = outcome.totalSteps;
         result.telemetry.backtracks = outcome.totalUnschedules;
+        result.telemetry.scheduler = outcome.scheduler;
         result.telemetry.iiStrategy = outcome.search.strategy;
         result.telemetry.iiWorkers = outcome.search.workers;
         result.telemetry.iiAttemptsStarted = outcome.search.attemptsStarted;
         result.telemetry.iiAttemptsCancelled =
             outcome.search.attemptsCancelled;
         result.telemetry.iiAttemptsWasted = outcome.search.attemptsWasted;
+        result.telemetry.iiAttemptsProvenInfeasible =
+            outcome.search.attemptsProvenInfeasible;
         result.telemetry.iiSearchWallSeconds = outcome.search.wallSeconds;
         result.telemetry.iiSearchCpuSeconds = outcome.search.cpuSeconds;
 

@@ -12,7 +12,7 @@
 #include "ir/loop.hpp"
 #include "machine/machine_model.hpp"
 #include "sched/list_scheduler.hpp"
-#include "sched/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "support/counters.hpp"
 #include "support/telemetry.hpp"
 
@@ -23,6 +23,8 @@ namespace ims::core {
  *
  * Defaults (the single source of truth; see docs/api.md):
  *  - delay model: exact (Table 1), DSA/EVR form assumed;
+ *  - scheduler backend: iterative (withScheduler selects the slack or
+ *    the exact backend; see sched/schedule.hpp);
  *  - priority: HeightR, forward-progress rule on;
  *  - BudgetRatio 2.0 (the paper's recommendation), maxIiIncrease 4096;
  *  - II search: linear (withIiSearch selects the deterministic racing
@@ -42,7 +44,7 @@ namespace ims::core {
 struct PipelinerOptions
 {
     graph::GraphOptions graph;
-    sched::ModuloScheduleOptions schedule;
+    sched::ScheduleOptions schedule;
     /** Verify every schedule with the independent checker (cheap). */
     bool verify = true;
     /**
@@ -109,24 +111,43 @@ struct PipelinerOptions
         return *this;
     }
 
+    /**
+     * Select the scheduling backend (iterative — the default —, slack,
+     * or the exact branch-and-bound prover; see sched/schedule.hpp).
+     */
+    PipelinerOptions&
+    withScheduler(sched::SchedulerStrategy strategy)
+    {
+        schedule.strategy = strategy;
+        return *this;
+    }
+
+    /** Per-candidate-II node budget for the exact backend. */
+    PipelinerOptions&
+    withExactNodeBudget(std::int64_t budget)
+    {
+        schedule.exactNodeBudget = budget;
+        return *this;
+    }
+
     PipelinerOptions&
     withPriority(sched::PriorityScheme priority)
     {
-        schedule.inner.priority = priority;
+        schedule.priority = priority;
         return *this;
     }
 
     PipelinerOptions&
     withRandomSeed(std::uint64_t seed)
     {
-        schedule.inner.randomSeed = seed;
+        schedule.randomSeed = seed;
         return *this;
     }
 
     PipelinerOptions&
     withForwardProgressRule(bool enabled)
     {
-        schedule.inner.forwardProgressRule = enabled;
+        schedule.forwardProgressRule = enabled;
         return *this;
     }
 

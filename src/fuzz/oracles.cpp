@@ -61,6 +61,61 @@ runOracles(const ir::Loop& loop, const machine::MachineModel& machine,
                 " below max(ResMII " +
                 std::to_string(artifacts.outcome.resMii) +
                 ", true RecMII " + std::to_string(true_rec) + ")";
+            return verdict;
+        }
+
+        // Optimality oracle: the exact branch-and-bound backend proves
+        // the minimal feasible II; a heuristic II above it is a quality
+        // finding, and an exact run that fails its own verification is a
+        // correctness finding. A budget-exhausted exact search decides
+        // nothing and is skipped.
+        if (oracle.checkOptimality) {
+            core::PipelinerOptions exact_options = options;
+            exact_options
+                .withScheduler(sched::SchedulerStrategy::kExact)
+                .withExactNodeBudget(oracle.exactNodeBudget);
+            // The heuristic II is known feasible, so the exact search
+            // never needs to look above it: cap the II range there. This
+            // bounds the oracle's cost at (gap + 1) attempts instead of
+            // the full maxIiIncrease range.
+            exact_options.schedule.search.maxIiIncrease =
+                std::max(0, verdict.ii - verdict.mii);
+            const core::SoftwarePipeliner exact_pipeliner(machine,
+                                                          exact_options);
+            core::PipelineResult exact_result =
+                exact_pipeliner.pipeline(core::PipelineRequest(loop));
+            if (!exact_result.ok()) {
+                for (const auto& diagnostic : exact_result.diagnostics) {
+                    if (diagnostic.code == "exact.budget_exhausted")
+                        return verdict; // undecided, not a finding
+                }
+                verdict.code = "opt.exact_invalid";
+                verdict.message =
+                    "exact backend failed where the heuristic "
+                    "succeeded: " +
+                    exact_result.firstError();
+                for (auto& diagnostic : exact_result.diagnostics)
+                    verdict.diagnostics.push_back(std::move(diagnostic));
+                return verdict;
+            }
+            verdict.exactIi = exact_result.telemetry.ii;
+            if (verdict.exactIi > verdict.ii) {
+                // The exact search "proved" the heuristic's verified II
+                // infeasible — its infeasibility proof is wrong.
+                verdict.code = "opt.exact_invalid";
+                verdict.message =
+                    "exact backend proved II " + std::to_string(verdict.ii) +
+                    " infeasible but the heuristic holds a verified "
+                    "schedule at that II (exact II " +
+                    std::to_string(verdict.exactIi) + ")";
+            } else if (verdict.exactIi < verdict.ii) {
+                verdict.code = "opt.ii_gap";
+                verdict.message =
+                    "heuristic II " + std::to_string(verdict.ii) +
+                    " exceeds proven-optimal II " +
+                    std::to_string(verdict.exactIi) + " (MII " +
+                    std::to_string(verdict.mii) + ")";
+            }
         }
     } catch (const std::exception& error) {
         // pipeline() reports its own failures via diagnostics; anything

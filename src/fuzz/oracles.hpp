@@ -23,6 +23,17 @@ struct OracleOptions
     std::vector<int> trips = {0, 1, 2, 5, 17};
     /** Seed for the simulated input data. */
     std::uint64_t simSeed = 1;
+    /**
+     * Also run the optimality oracle: re-pipeline the case with the exact
+     * branch-and-bound backend and require the heuristic II to match the
+     * proven-optimal II ("opt.ii_gap" on a gap, "opt.exact_invalid" when
+     * the exact schedule itself fails verification). Cases whose exact
+     * search exhausts `exactNodeBudget` are skipped — budget exhaustion
+     * is not a finding. Off by default (it multiplies per-case cost).
+     */
+    bool checkOptimality = false;
+    /** Per-candidate-II node budget for the optimality oracle. */
+    std::int64_t exactNodeBudget = sched::kDefaultExactNodeBudget;
 };
 
 /**
@@ -40,6 +51,10 @@ struct OracleVerdict
     /** Telemetry extracts for campaign reporting (-1 before scheduling). */
     int ii = -1;
     int mii = -1;
+    /** Proven-optimal II from the optimality oracle (-1 when the oracle
+     *  is off, the case failed earlier, or the exact search exhausted
+     *  its node budget). */
+    int exactIi = -1;
 
     bool failed() const { return !code.empty(); }
 };
@@ -56,7 +71,11 @@ struct OracleVerdict
  *     "error.<phase>" finding instead of an escaping exception;
  *  3. MII sanity: the achieved II must be >= max(ResMII, true RecMII),
  *     with the true RecMII recomputed independently of the scheduler's
- *     production MII protocol ("mii.below_bound" on violation).
+ *     production MII protocol ("mii.below_bound" on violation);
+ *  4. optionally (OracleOptions::checkOptimality) the optimality oracle:
+ *     the exact backend re-pipelines the case and the heuristic II must
+ *     equal the proven-optimal II ("opt.ii_gap" / "opt.exact_invalid";
+ *     budget-exhausted exact searches are skipped, not findings).
  *
  * Deterministic in its arguments; safe to call concurrently (shared
  * state is read-only).

@@ -71,10 +71,15 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
             try {
                 slot.outcome = attempt(ii, worker, token);
             } catch (...) {
-                // parallelFor's contract: bodies must not throw. Park the
-                // exception; the assembly step below rethrows it iff the
-                // linear search would have reached this II.
+                // Park the exception (threaded bodies must not throw);
+                // the assembly step below rethrows it iff the linear
+                // search would have reached this II. An exception is not
+                // speculation — the deterministic search dies at this II
+                // — so this worker stops claiming candidates instead of
+                // burning through the rest of the range.
                 slot.error = std::current_exception();
+                slot.seconds = secondsSince(attempt_start);
+                return;
             }
             slot.seconds = secondsSince(attempt_start);
             if (slot.outcome.schedule.has_value())
@@ -119,11 +124,14 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
         Slot& slot = slots[i];
         // Deterministic-prefix invariant (see the engine comment): every
         // prefix attempt ran to completion, uncancelled.
-        assert(slot.started && !slot.outcome.cancelled);
+        assert(slot.started &&
+               slot.outcome.status != AttemptStatus::kCancelled);
         result.counters += slot.outcome.counters;
+        if (slot.outcome.status == AttemptStatus::kInfeasible)
+            ++result.attemptsProvenInfeasible;
         result.records.push_back({min_ii + i,
                                   slot.outcome.schedule.has_value(),
-                                  slot.seconds});
+                                  slot.outcome.status, slot.seconds});
     }
     if (winner >= 0)
         result.schedule = std::move(slots[winner].outcome.schedule);
@@ -134,7 +142,7 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
             continue;
         ++result.attemptsStarted;
         result.cpuSeconds += slot.seconds;
-        if (slot.outcome.cancelled)
+        if (slot.outcome.status == AttemptStatus::kCancelled)
             ++result.attemptsCancelled;
         if (winner >= 0 && i > winner)
             ++result.attemptsWasted;
@@ -195,6 +203,22 @@ class RacingIiSearch final : public IiSearchStrategy
 };
 
 } // namespace
+
+std::string
+attemptStatusName(AttemptStatus status)
+{
+    switch (status) {
+      case AttemptStatus::kScheduled:
+        return "scheduled";
+      case AttemptStatus::kBudgetExhausted:
+        return "budget_exhausted";
+      case AttemptStatus::kInfeasible:
+        return "infeasible";
+      case AttemptStatus::kCancelled:
+        return "cancelled";
+    }
+    return "?";
+}
 
 std::string
 iiSearchKindName(IiSearchKind kind)

@@ -93,17 +93,23 @@ struct IiSearchOptions
     }
 };
 
+/** Stable lowercase name of an AttemptStatus ("scheduled", ...). */
+std::string attemptStatusName(AttemptStatus status);
+
 /**
  * One schedule attempt at a fixed candidate II, as seen by the search
  * strategy. `counters` is the attempt's *own* batched counter delta (the
  * strategy folds only the deterministic prefix into the search result);
- * `cancelled` marks an attempt that abandoned work because the token's
- * ceiling dropped below its II mid-run.
+ * `status` reports *why* the attempt ended — in particular it
+ * distinguishes kInfeasible (this II is proven impossible; re-trying
+ * with a larger budget is pointless) from kBudgetExhausted (undecided),
+ * and kCancelled marks an attempt that abandoned work because the
+ * token's ceiling dropped below its II mid-run.
  */
 struct IiAttemptOutcome
 {
     std::optional<ScheduleResult> schedule;
-    bool cancelled = false;
+    AttemptStatus status = AttemptStatus::kBudgetExhausted;
     support::Counters counters;
 };
 
@@ -123,6 +129,9 @@ struct IiAttemptRecord
 {
     int ii = 0;
     bool feasible = false;
+    /** Why the attempt ended (kScheduled iff `feasible`). Deterministic:
+     *  prefix attempts are never cancelled. */
+    AttemptStatus status = AttemptStatus::kBudgetExhausted;
     /** Wall time of the attempt (nondeterministic; observability only). */
     double seconds = 0.0;
 };
@@ -144,6 +153,15 @@ struct IiSearchResult
     support::Counters counters;
     /** Per-candidate records for the deterministic prefix, in II order. */
     std::vector<IiAttemptRecord> records;
+    /**
+     * Prefix attempts that ended with AttemptStatus::kInfeasible — the
+     * candidate II was *proven* impossible (as opposed to merely running
+     * out of budget). Deterministic, like everything derived from the
+     * prefix. Always the case for the exact backend's failed prefix
+     * attempts; the heuristic backends prove it only when some operation
+     * has no usable alternative at that II.
+     */
+    int attemptsProvenInfeasible = 0;
 
     // Everything below is observability for the race itself and is NOT
     // deterministic (it depends on thread scheduling): speculative

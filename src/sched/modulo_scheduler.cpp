@@ -7,6 +7,7 @@
 
 #include "graph/graph_builder.hpp"
 #include "mii/mii.hpp"
+#include "sched/schedule.hpp"
 #include "support/error.hpp"
 
 namespace ims::sched {
@@ -49,6 +50,7 @@ runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
     outcome.search.attemptsStarted = found.attemptsStarted;
     outcome.search.attemptsCancelled = found.attemptsCancelled;
     outcome.search.attemptsWasted = found.attemptsWasted;
+    outcome.search.attemptsProvenInfeasible = found.attemptsProvenInfeasible;
     outcome.search.wallSeconds = found.wallSeconds;
     outcome.search.cpuSeconds = found.cpuSeconds;
     outcome.search.records = std::move(found.records);
@@ -68,21 +70,18 @@ runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
     return outcome;
 }
 
-ModuloScheduleOutcome
-moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
-               const graph::DepGraph& graph, const graph::SccResult& sccs,
-               const ModuloScheduleOptions& options,
-               support::Counters* counters)
-{
-    support::check(options.search.budgetRatio > 0,
-                   "BudgetRatio must be positive");
-    support::check(options.inner.trace == nullptr ||
-                       options.search.kind == IiSearchKind::kLinear,
-                   "trace capture requires the linear II search");
+namespace detail {
 
+ModuloScheduleOutcome
+runIterativeSchedule(const ir::Loop& loop,
+                     const machine::MachineModel& machine,
+                     const graph::DepGraph& graph,
+                     const graph::SccResult& sccs,
+                     const ScheduleOptions& options,
+                     support::Counters* counters)
+{
     const mii::MiiResult mii = mii::computeMii(loop, machine, graph, sccs,
-                                               counters,
-                                               options.inner.telemetry);
+                                               counters, options.telemetry);
 
     // NumberOfOperations in Figure 2/3 counts the dependence-graph
     // operations including the START/STOP pseudo-ops (operation 1 is
@@ -102,7 +101,7 @@ moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
     const int workers =
         strategy->plannedWorkers(options.search.maxIiIncrease + 1);
 
-    IterativeScheduleOptions inner = options.inner;
+    IterativeScheduleOptions inner = options.inner();
     inner.telemetry = nullptr; // kIiAttempt samples are replayed by the
                                // driver for the deterministic prefix only
 
@@ -125,19 +124,52 @@ moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
             AttemptStatus status = AttemptStatus::kBudgetExhausted;
             out.schedule =
                 state.scheduler->trySchedule(ii, budget, &cancel, &status);
-            out.cancelled = status == AttemptStatus::kCancelled;
+            out.status = status;
             out.counters = state.counters;
             return out;
         };
 
-    return runIiSearch(
+    ModuloScheduleOutcome outcome = runIiSearch(
         options.search, mii.resMii, mii.mii, budget, attempt, counters,
-        options.inner.telemetry, [&] {
+        options.telemetry, [&] {
             return "no modulo schedule found for loop '" + loop.name() +
                    "' within " +
                    std::to_string(options.search.maxIiIncrease) +
                    " IIs above the MII";
         });
+    outcome.scheduler = schedulerStrategyName(SchedulerStrategy::kIterative);
+    return outcome;
+}
+
+} // namespace detail
+
+namespace {
+
+/** Lift the deprecated per-backend options onto the shared struct. */
+ScheduleOptions
+liftLegacyOptions(const ModuloScheduleOptions& options)
+{
+    ScheduleOptions lifted;
+    lifted.strategy = SchedulerStrategy::kIterative;
+    lifted.search = options.search;
+    lifted.priority = options.inner.priority;
+    lifted.forwardProgressRule = options.inner.forwardProgressRule;
+    lifted.randomSeed = options.inner.randomSeed;
+    lifted.trace = options.inner.trace;
+    lifted.telemetry = options.inner.telemetry;
+    return lifted;
+}
+
+} // namespace
+
+ModuloScheduleOutcome
+moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+               const graph::DepGraph& graph, const graph::SccResult& sccs,
+               const ModuloScheduleOptions& options,
+               support::Counters* counters)
+{
+    return schedule(loop, machine, graph, sccs, liftLegacyOptions(options),
+                    counters);
 }
 
 ModuloScheduleOutcome
@@ -145,9 +177,7 @@ moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
                const ModuloScheduleOptions& options,
                support::Counters* counters)
 {
-    const graph::DepGraph graph = graph::buildDepGraph(loop, machine);
-    const graph::SccResult sccs = graph::findSccs(graph);
-    return moduloSchedule(loop, machine, graph, sccs, options, counters);
+    return schedule(loop, machine, liftLegacyOptions(options), counters);
 }
 
 } // namespace ims::sched

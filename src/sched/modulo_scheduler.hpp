@@ -16,7 +16,14 @@
 
 namespace ims::sched {
 
-/** Options for the full ModuloSchedule driver (Figure 2). */
+/**
+ * Options for the full ModuloSchedule driver (Figure 2).
+ *
+ * @deprecated Superseded by sched::ScheduleOptions (sched/schedule.hpp),
+ * which flattens these fields and adds the backend selector; this alias
+ * is kept for one release for out-of-tree callers of the deprecated
+ * moduloSchedule() wrappers.
+ */
 struct ModuloScheduleOptions
 {
     /**
@@ -47,6 +54,14 @@ struct IiSearchStats
     int attemptsCancelled = 0;
     /** Attempts launched above the winning II (discarded speculation). */
     int attemptsWasted = 0;
+    /**
+     * Deterministic-prefix attempts whose candidate II was *proven*
+     * infeasible (AttemptStatus::kInfeasible), as opposed to running out
+     * of budget. Deterministic, unlike the started/cancelled/wasted
+     * trio; for the exact backend this counts actual optimality proofs
+     * (see sched/exact_scheduler.hpp).
+     */
+    int attemptsProvenInfeasible = 0;
     /** End-to-end wall time of the search. */
     double wallSeconds = 0.0;
     /** Summed per-attempt wall times (> wallSeconds measures overlap). */
@@ -59,6 +74,13 @@ struct IiSearchStats
 struct ModuloScheduleOutcome
 {
     ScheduleResult schedule;
+    /**
+     * Stable name of the backend that produced the schedule
+     * ("iterative", "slack", "exact" — see sched::SchedulerStrategy), so
+     * downstream consumers (telemetry JSON, benches, scripts/check_perf)
+     * can assert which scheduler actually ran.
+     */
+    std::string scheduler = "iterative";
     /** Resource-constrained lower bound. */
     int resMii = 1;
     /** MII = max(ResMII, RecMII) as computed by the production protocol. */
@@ -110,7 +132,12 @@ runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
  *         practice an acyclic graph is always schedulable once II
  *         reaches the list-schedule length, so this indicates a
  *         pathological input).
+ *
+ * @deprecated Use sched::schedule() (sched/schedule.hpp) with
+ * SchedulerStrategy::kIterative — the default — instead; this thin
+ * wrapper is kept for one release.
  */
+[[deprecated("use sched::schedule() from sched/schedule.hpp")]]
 ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
                                      const machine::MachineModel& machine,
                                      const graph::DepGraph& graph,
@@ -119,7 +146,11 @@ ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
                                          {},
                                      support::Counters* counters = nullptr);
 
-/** Convenience overload: builds the dependence graph and SCCs itself. */
+/**
+ * Convenience overload: builds the dependence graph and SCCs itself.
+ * @deprecated Use sched::schedule() (sched/schedule.hpp) instead.
+ */
+[[deprecated("use sched::schedule() from sched/schedule.hpp")]]
 ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
                                      const machine::MachineModel& machine,
                                      const ModuloScheduleOptions& options =

@@ -1,0 +1,199 @@
+#ifndef IMS_SCHED_SCHEDULE_HPP
+#define IMS_SCHED_SCHEDULE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/dep_graph.hpp"
+#include "graph/scc.hpp"
+#include "ir/loop.hpp"
+#include "machine/machine_model.hpp"
+#include "sched/exact_scheduler.hpp"
+#include "sched/modulo_scheduler.hpp"
+#include "support/counters.hpp"
+
+namespace ims::sched {
+
+/**
+ * Which scheduling backend decides feasibility at each candidate II.
+ * All three run under the same Figure-2 outer loop (runIiSearch): the
+ * same II-search strategies (linear/racing), cancellation tokens,
+ * deterministic-prefix accounting and ii_* telemetry.
+ */
+enum class SchedulerStrategy
+{
+    /** The paper's iterative modulo scheduler (Figure 3) — the default. */
+    kIterative,
+    /** The Huff-style bidirectional slack scheduler (ablation baseline). */
+    kSlack,
+    /**
+     * The exact branch-and-bound backend (sched/exact_scheduler.hpp):
+     * proves feasibility or infeasibility per candidate II, so the first
+     * feasible II it reports is the provably optimal one. Exponential in
+     * the worst case; governed by ScheduleOptions::exactNodeBudget, and
+     * throws support::CodedError("exact.budget_exhausted") when an
+     * attempt is cut off undecided (optimality can no longer be proven).
+     */
+    kExact,
+};
+
+/** Stable lowercase name ("iterative", "slack", "exact"). */
+std::string schedulerStrategyName(SchedulerStrategy strategy);
+
+/** Inverse of schedulerStrategyName; nullopt for unknown names. */
+std::optional<SchedulerStrategy>
+schedulerStrategyByName(std::string_view name);
+
+/**
+ * The shared options for sched::schedule() — one flat struct replacing
+ * the per-backend ModuloScheduleOptions/SlackScheduleOptions pair (both
+ * kept as thin deprecated aliases for one release). The priority/seed/
+ * trace knobs apply to the iterative backend; `exactNodeBudget` to the
+ * exact backend; `search` and `telemetry` to all three.
+ */
+struct ScheduleOptions
+{
+    SchedulerStrategy strategy = SchedulerStrategy::kIterative;
+    /** The outer II loop's policy and budget knobs (shared verbatim by
+     *  every backend, so the Figure-2 knobs exist exactly once). */
+    IiSearchOptions search;
+    /** Priority scheme for the iterative backend (§3.2). */
+    PriorityScheme priority = PriorityScheme::kHeightR;
+    /** The §3.4 forward-progress rule (iterative backend). */
+    bool forwardProgressRule = true;
+    /** Seed for PriorityScheme::kRandom. */
+    std::uint64_t randomSeed = 1;
+    /** Per-candidate-II node budget for the exact backend. */
+    std::int64_t exactNodeBudget = kDefaultExactNodeBudget;
+    /** When non-null, every iterative scheduling step is appended here
+     *  (linear search + iterative backend only). */
+    std::vector<TraceEvent>* trace = nullptr;
+    /** Sink receiving the MII-bound and replayed ii_attempt phases. */
+    support::TelemetrySink* telemetry = nullptr;
+
+    ScheduleOptions&
+    withStrategy(SchedulerStrategy s)
+    {
+        strategy = s;
+        return *this;
+    }
+
+    ScheduleOptions&
+    withSearch(IiSearchOptions s)
+    {
+        search = s;
+        return *this;
+    }
+
+    ScheduleOptions&
+    withPriority(PriorityScheme scheme)
+    {
+        priority = scheme;
+        return *this;
+    }
+
+    ScheduleOptions&
+    withForwardProgressRule(bool enabled)
+    {
+        forwardProgressRule = enabled;
+        return *this;
+    }
+
+    ScheduleOptions&
+    withRandomSeed(std::uint64_t seed)
+    {
+        randomSeed = seed;
+        return *this;
+    }
+
+    ScheduleOptions&
+    withExactNodeBudget(std::int64_t budget)
+    {
+        exactNodeBudget = budget;
+        return *this;
+    }
+
+    ScheduleOptions&
+    withTrace(std::vector<TraceEvent>* sink)
+    {
+        trace = sink;
+        return *this;
+    }
+
+    ScheduleOptions&
+    withTelemetry(support::TelemetrySink* sink)
+    {
+        telemetry = sink;
+        return *this;
+    }
+
+    /** Lower to the iterative backend's per-attempt options. */
+    IterativeScheduleOptions
+    inner() const
+    {
+        IterativeScheduleOptions options;
+        options.priority = priority;
+        options.forwardProgressRule = forwardProgressRule;
+        options.randomSeed = randomSeed;
+        options.trace = trace;
+        options.telemetry = telemetry;
+        return options;
+    }
+};
+
+namespace detail {
+
+/** Backend drivers behind sched::schedule(); not part of the API. */
+ModuloScheduleOutcome
+runIterativeSchedule(const ir::Loop& loop,
+                     const machine::MachineModel& machine,
+                     const graph::DepGraph& graph,
+                     const graph::SccResult& sccs,
+                     const ScheduleOptions& options,
+                     support::Counters* counters);
+
+ModuloScheduleOutcome
+runSlackSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+                 const graph::DepGraph& graph, const graph::SccResult& sccs,
+                 const ScheduleOptions& options,
+                 support::Counters* counters);
+
+ModuloScheduleOutcome
+runExactSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+                 const graph::DepGraph& graph, const graph::SccResult& sccs,
+                 const ScheduleOptions& options,
+                 support::Counters* counters);
+
+} // namespace detail
+
+/**
+ * The single scheduling entry point: compute the MII, then run the
+ * backend selected by options.strategy over candidate IIs under the
+ * configured II-search strategy (the paper's Figure 2). Replaces the
+ * deprecated moduloSchedule()/slackModuloSchedule() free-function pair.
+ *
+ * @throws support::CodedError "sched.ii_exhausted" when every candidate
+ *         II fails, and "exact.budget_exhausted" when the exact backend
+ *         runs out of nodes at a candidate the linear search would have
+ *         reached (so results stay bit-identical across strategies and
+ *         thread counts).
+ */
+ModuloScheduleOutcome schedule(const ir::Loop& loop,
+                               const machine::MachineModel& machine,
+                               const graph::DepGraph& graph,
+                               const graph::SccResult& sccs,
+                               const ScheduleOptions& options = {},
+                               support::Counters* counters = nullptr);
+
+/** Convenience overload: builds the dependence graph and SCCs itself. */
+ModuloScheduleOutcome schedule(const ir::Loop& loop,
+                               const machine::MachineModel& machine,
+                               const ScheduleOptions& options = {},
+                               support::Counters* counters = nullptr);
+
+} // namespace ims::sched
+
+#endif // IMS_SCHED_SCHEDULE_HPP

@@ -7,6 +7,7 @@
 #include "mii/mii.hpp"
 #include "mii/min_dist.hpp"
 #include "sched/partial_schedule.hpp"
+#include "sched/schedule.hpp"
 #include "support/error.hpp"
 
 namespace ims::sched {
@@ -38,8 +39,10 @@ class SlackAttempt
     run(std::int64_t budget, std::int64_t& steps_used,
         std::int64_t& unschedules)
     {
-        if (!schedule_.allVerticesPlaceable())
+        if (!schedule_.allVerticesPlaceable()) {
+            infeasible_ = true;
             return false;
+        }
 
         const int deadline = static_cast<int>(
             dist_.atVertex(graph_.start(), graph_.stop()));
@@ -120,6 +123,9 @@ class SlackAttempt
     const PartialSchedule& schedule() const { return schedule_; }
 
     bool cancelled() const { return cancelled_; }
+
+    /** True when this II is proven impossible (modulo self-collision). */
+    bool provenInfeasible() const { return infeasible_; }
 
     /** Batched counter deltas, flushed once per attempt by the driver. */
     std::uint64_t estartVisits() const { return estartVisits_; }
@@ -267,6 +273,7 @@ class SlackAttempt
     int ii_;
     const support::CancellationToken* cancel_;
     bool cancelled_ = false;
+    bool infeasible_ = false;
     mii::MinDistMatrix dist_;
     PartialSchedule schedule_;
     std::vector<bool> unplaced_;
@@ -282,18 +289,15 @@ class SlackAttempt
 
 } // namespace
 
+namespace detail {
+
 ModuloScheduleOutcome
-slackModuloSchedule(const ir::Loop& loop,
-                    const machine::MachineModel& machine,
-                    const graph::DepGraph& graph,
-                    const graph::SccResult& sccs,
-                    const SlackScheduleOptions& options,
-                    support::Counters* counters)
+runSlackSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
+                 const graph::DepGraph& graph, const graph::SccResult& sccs,
+                 const ScheduleOptions& options, support::Counters* counters)
 {
-    support::check(options.search.budgetRatio > 0,
-                   "BudgetRatio must be positive");
-    const mii::MiiResult mii =
-        mii::computeMii(loop, machine, graph, sccs, counters);
+    const mii::MiiResult mii = mii::computeMii(loop, machine, graph, sccs,
+                                               counters, options.telemetry);
     const std::int64_t budget = std::max<std::int64_t>(
         2, static_cast<std::int64_t>(std::llround(
                options.search.budgetRatio * (loop.size() + 2))));
@@ -311,7 +315,14 @@ slackModuloSchedule(const ir::Loop& loop,
             std::int64_t steps = 0;
             std::int64_t unschedules = 0;
             const bool scheduled = attempt.run(budget, steps, unschedules);
-            out.cancelled = attempt.cancelled();
+            if (scheduled)
+                out.status = AttemptStatus::kScheduled;
+            else if (attempt.cancelled())
+                out.status = AttemptStatus::kCancelled;
+            else if (attempt.provenInfeasible())
+                out.status = AttemptStatus::kInfeasible;
+            else
+                out.status = AttemptStatus::kBudgetExhausted;
             out.counters.estartPredecessorVisits += attempt.estartVisits();
             out.counters.findTimeSlotProbes += attempt.slotProbes();
             out.counters.scheduleSteps += attempt.scheduleSteps();
@@ -339,14 +350,32 @@ slackModuloSchedule(const ir::Loop& loop,
             return out;
         };
 
-    return runIiSearch(
+    ModuloScheduleOutcome outcome = runIiSearch(
         options.search, mii.resMii, mii.mii, budget, attempt, counters,
-        /*telemetry=*/nullptr, [&] {
+        options.telemetry, [&] {
             return "slack scheduler found no schedule for '" +
                    loop.name() + "' within " +
                    std::to_string(options.search.maxIiIncrease) +
                    " IIs above the MII";
         });
+    outcome.scheduler = schedulerStrategyName(SchedulerStrategy::kSlack);
+    return outcome;
+}
+
+} // namespace detail
+
+ModuloScheduleOutcome
+slackModuloSchedule(const ir::Loop& loop,
+                    const machine::MachineModel& machine,
+                    const graph::DepGraph& graph,
+                    const graph::SccResult& sccs,
+                    const SlackScheduleOptions& options,
+                    support::Counters* counters)
+{
+    ScheduleOptions lifted;
+    lifted.strategy = SchedulerStrategy::kSlack;
+    lifted.search = options.search;
+    return schedule(loop, machine, graph, sccs, lifted, counters);
 }
 
 } // namespace ims::sched

@@ -15,6 +15,10 @@ namespace ims::sched {
  * (BudgetRatio, maxIiIncrease, linear vs racing) — the same
  * IiSearchOptions ModuloScheduleOptions embeds, so the outer-loop knobs
  * exist exactly once for both algorithms.
+ *
+ * @deprecated Superseded by sched::ScheduleOptions (sched/schedule.hpp)
+ * with SchedulerStrategy::kSlack; kept for one release alongside the
+ * deprecated slackModuloSchedule() wrapper.
  */
 struct SlackScheduleOptions
 {
@@ -43,7 +47,12 @@ struct SlackScheduleOptions
  *
  * Returns the same outcome type as moduloSchedule() so the two
  * algorithms can be compared head to head (bench_abl_huff_slack).
+ *
+ * @deprecated Use sched::schedule() (sched/schedule.hpp) with
+ * SchedulerStrategy::kSlack instead; this thin wrapper is kept for one
+ * release.
  */
+[[deprecated("use sched::schedule() with SchedulerStrategy::kSlack")]]
 ModuloScheduleOutcome
 slackModuloSchedule(const ir::Loop& loop,
                     const machine::MachineModel& machine,

@@ -346,6 +346,8 @@ PipelineTelemetry::toJson() const
     out += ",\"budget\":" + std::to_string(budget);
     out += ",\"steps_total\":" + std::to_string(stepsTotal);
     out += ",\"backtracks\":" + std::to_string(backtracks);
+    out += ",\"scheduler\":";
+    appendJsonString(out, scheduler);
     out += ",\"ii_strategy\":";
     appendJsonString(out, iiStrategy);
     out += ",\"ii_workers\":" + std::to_string(iiWorkers);
@@ -353,6 +355,8 @@ PipelineTelemetry::toJson() const
     out += ",\"ii_attempts_cancelled\":" +
            std::to_string(iiAttemptsCancelled);
     out += ",\"ii_attempts_wasted\":" + std::to_string(iiAttemptsWasted);
+    out += ",\"ii_attempts_proven_infeasible\":" +
+           std::to_string(iiAttemptsProvenInfeasible);
     out += ",\"ii_search_wall_seconds\":" +
            formatJsonDouble(iiSearchWallSeconds);
     out += ",\"ii_search_cpu_seconds\":" +
@@ -416,6 +420,8 @@ parseTelemetryJson(const std::string& json)
             t.stepsTotal = static_cast<std::int64_t>(p.parseNumber());
         } else if (key == "backtracks") {
             t.backtracks = static_cast<std::int64_t>(p.parseNumber());
+        } else if (key == "scheduler") {
+            t.scheduler = p.parseString();
         } else if (key == "ii_strategy") {
             t.iiStrategy = p.parseString();
         } else if (key == "ii_workers") {
@@ -426,6 +432,8 @@ parseTelemetryJson(const std::string& json)
             t.iiAttemptsCancelled = static_cast<int>(p.parseNumber());
         } else if (key == "ii_attempts_wasted") {
             t.iiAttemptsWasted = static_cast<int>(p.parseNumber());
+        } else if (key == "ii_attempts_proven_infeasible") {
+            t.iiAttemptsProvenInfeasible = static_cast<int>(p.parseNumber());
         } else if (key == "ii_search_wall_seconds") {
             t.iiSearchWallSeconds = p.parseNumber();
         } else if (key == "ii_search_cpu_seconds") {

@@ -133,6 +133,9 @@ struct PipelineTelemetry
     std::int64_t stepsTotal = 0;
     /** Operations displaced (backtracking; Figure 5's unschedules). */
     std::int64_t backtracks = 0;
+    /** Scheduling backend the run used ("iterative", "slack", "exact";
+     *  "" when the run failed before scheduling). */
+    std::string scheduler;
     /** II-search strategy the run used ("linear", "racing"; "" when the
      *  run failed before scheduling). */
     std::string iiStrategy;
@@ -147,6 +150,11 @@ struct PipelineTelemetry
     int iiAttemptsStarted = 0;
     int iiAttemptsCancelled = 0;
     int iiAttemptsWasted = 0;
+    /** Attempts in the deterministic prefix that PROVED no schedule
+     *  exists at their II (exact backend; 0 for heuristic backends,
+     *  whose failures are budget exhaustions, not proofs). Stable
+     *  across runs and thread counts. */
+    int iiAttemptsProvenInfeasible = 0;
     /** Wall-clock vs summed per-attempt time of the II search — their
      *  ratio is the overlap the racing strategy achieved. */
     double iiSearchWallSeconds = 0.0;

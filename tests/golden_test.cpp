@@ -5,7 +5,7 @@
 #include "graph/scc.hpp"
 #include "machine/cydra5.hpp"
 #include "mii/mii.hpp"
-#include "sched/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "support/stats.hpp"
 #include "workloads/corpus.hpp"
 #include "workloads/kernels.hpp"
@@ -68,7 +68,7 @@ TEST(GoldenTest, CorpusShapeMatchesTable3Bands)
     spec.lfkLoops = 20;
     const auto corpus = workloads::buildCorpus(spec);
 
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 6.0;
 
     std::vector<double> ops, at_mii, vectorizable, rec_le_res;
@@ -77,7 +77,7 @@ TEST(GoldenTest, CorpusShapeMatchesTable3Bands)
         const auto sccs = graph::findSccs(g);
         const auto mii = mii::computeMii(w.loop, machine, g, sccs);
         const auto outcome =
-            sched::moduloSchedule(w.loop, machine, g, sccs, options);
+            sched::schedule(w.loop, machine, g, sccs, options);
         ops.push_back(w.loop.size());
         at_mii.push_back(outcome.schedule.ii == mii.mii ? 1.0 : 0.0);
         int non_trivial = 0;
@@ -119,7 +119,7 @@ TEST(GoldenTest, BudgetRatioCurveShape)
     const auto corpus = workloads::buildCorpus(spec);
 
     auto sweep = [&](double budget_ratio) {
-        sched::ModuloScheduleOptions options;
+        sched::ScheduleOptions options;
         options.search.budgetRatio = budget_ratio;
         long long steps = 0, ops = 0;
         double ii_sum = 0.0, mii_sum = 0.0;
@@ -127,7 +127,7 @@ TEST(GoldenTest, BudgetRatioCurveShape)
             const auto g = graph::buildDepGraph(w.loop, machine);
             const auto sccs = graph::findSccs(g);
             const auto outcome =
-                sched::moduloSchedule(w.loop, machine, g, sccs, options);
+                sched::schedule(w.loop, machine, g, sccs, options);
             steps += outcome.totalSteps;
             ops += w.loop.size() + 2;
             ii_sum += outcome.schedule.ii;

@@ -10,8 +10,7 @@
 #include "machine/machines.hpp"
 #include "sched/ii_search.hpp"
 #include "sched/iterative_scheduler.hpp"
-#include "sched/modulo_scheduler.hpp"
-#include "sched/slack_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "support/cancellation.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -60,12 +59,18 @@ expectOutcomesIdentical(const sched::ModuloScheduleOutcome& a,
     EXPECT_EQ(a.budget, b.budget) << context;
     EXPECT_EQ(a.totalSteps, b.totalSteps) << context;
     EXPECT_EQ(a.totalUnschedules, b.totalUnschedules) << context;
+    EXPECT_EQ(a.scheduler, b.scheduler) << context;
+    EXPECT_EQ(a.search.attemptsProvenInfeasible,
+              b.search.attemptsProvenInfeasible)
+        << context;
     ASSERT_EQ(a.search.records.size(), b.search.records.size()) << context;
     for (std::size_t i = 0; i < a.search.records.size(); ++i) {
         EXPECT_EQ(a.search.records[i].ii, b.search.records[i].ii)
             << context;
         EXPECT_EQ(a.search.records[i].feasible,
                   b.search.records[i].feasible)
+            << context;
+        EXPECT_EQ(a.search.records[i].status, b.search.records[i].status)
             << context;
     }
 }
@@ -99,13 +104,14 @@ TEST(IiSearchTest, MakeStrategyRejectsBadOptions)
 sched::IiAttemptOutcome
 fakeAttempt(int ii, int first_feasible)
 {
-    sched::IiAttemptOutcome out;
+    sched::IiAttemptOutcome out; // status defaults to kBudgetExhausted
     out.counters.scheduleSteps = 10; // constant per-attempt delta
     if (ii >= first_feasible) {
         sched::ScheduleResult result;
         result.ii = ii;
         result.stepsUsed = 7;
         out.schedule = result;
+        out.status = sched::AttemptStatus::kScheduled;
     }
     return out;
 }
@@ -227,24 +233,24 @@ TEST(IiSearchTest, CancellationTokenCeilingIsMonotonic)
 
 sched::ModuloScheduleOutcome
 scheduleWith(const ir::Loop& loop, const machine::MachineModel& machine,
-             const sched::ModuloScheduleOptions& options,
+             const sched::ScheduleOptions& options,
              support::Counters& counters)
 {
     counters = {};
-    return sched::moduloSchedule(loop, machine, options, &counters);
+    return sched::schedule(loop, machine, options, &counters);
 }
 
 TEST(IiSearchTest, RacingMatchesLinearOnKernelCorpus)
 {
     for (const auto& machine : {machine::cydra5(), machine::scalarToy()}) {
         for (const auto& w : workloads::kernelLibrary()) {
-            sched::ModuloScheduleOptions linear;
+            sched::ScheduleOptions linear;
             support::Counters linear_counters;
             const auto expected =
                 scheduleWith(w.loop, machine, linear, linear_counters);
 
             for (const int threads : {1, 4, 8}) {
-                sched::ModuloScheduleOptions racing;
+                sched::ScheduleOptions racing;
                 racing.search.withKind(sched::IiSearchKind::kRacing)
                     .withThreads(threads);
                 support::Counters racing_counters;
@@ -272,14 +278,14 @@ TEST(IiSearchTest, RacingMatchesLinearOnFuzzGeneratedLoops)
         const auto loop = workloads::generateLoop(
             rng, "fuzz_" + std::to_string(i), profile);
 
-        sched::ModuloScheduleOptions linear;
+        sched::ScheduleOptions linear;
         support::Counters linear_counters;
         const auto expected =
             scheduleWith(loop, machine, linear, linear_counters);
         hard += expected.attempts > 1;
 
         for (const int threads : {1, 4, 8}) {
-            sched::ModuloScheduleOptions racing;
+            sched::ScheduleOptions racing;
             racing.search.withKind(sched::IiSearchKind::kRacing)
                 .withThreads(threads);
             support::Counters racing_counters;
@@ -303,14 +309,14 @@ TEST(IiSearchTest, RacingMatchesLinearWithRandomPriorities)
     // race's determinism rests on.
     const auto machine = machine::cydra5();
     for (const auto& w : workloads::kernelLibrary()) {
-        sched::ModuloScheduleOptions linear;
-        linear.inner.priority = sched::PriorityScheme::kRandom;
-        linear.inner.randomSeed = 99;
+        sched::ScheduleOptions linear;
+        linear.priority = sched::PriorityScheme::kRandom;
+        linear.randomSeed = 99;
         support::Counters linear_counters;
         const auto expected =
             scheduleWith(w.loop, machine, linear, linear_counters);
 
-        sched::ModuloScheduleOptions racing = linear;
+        sched::ScheduleOptions racing = linear;
         racing.search.withKind(sched::IiSearchKind::kRacing).withThreads(4);
         support::Counters racing_counters;
         const auto got =
@@ -328,17 +334,18 @@ TEST(IiSearchTest, SlackSchedulerRacingMatchesLinear)
         const auto graph = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(graph);
 
-        sched::SlackScheduleOptions linear;
+        sched::ScheduleOptions linear;
+        linear.strategy = sched::SchedulerStrategy::kSlack;
         support::Counters linear_counters;
-        const auto expected = sched::slackModuloSchedule(
+        const auto expected = sched::schedule(
             w.loop, machine, graph, sccs, linear, &linear_counters);
 
         for (const int threads : {1, 4, 8}) {
-            sched::SlackScheduleOptions racing;
+            sched::ScheduleOptions racing = linear;
             racing.search.withKind(sched::IiSearchKind::kRacing)
                 .withThreads(threads);
             support::Counters racing_counters;
-            const auto got = sched::slackModuloSchedule(
+            const auto got = sched::schedule(
                 w.loop, machine, graph, sccs, racing, &racing_counters);
             const std::string context = "slack/" + w.loop.name() +
                                         " threads=" +

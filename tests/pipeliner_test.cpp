@@ -138,13 +138,12 @@ TEST(PipelinerTest, BuilderStyleOptionSettersCompose)
                              .withDelayMode(graph::DelayMode::kConservative)
                              .withRandomSeed(42);
     EXPECT_EQ(options.schedule.search.budgetRatio, 6.0);
-    EXPECT_EQ(options.schedule.inner.priority,
-              sched::PriorityScheme::kSlack);
+    EXPECT_EQ(options.schedule.priority, sched::PriorityScheme::kSlack);
     EXPECT_FALSE(options.verify);
     EXPECT_EQ(options.schedule.search.maxIiIncrease, 128);
-    EXPECT_FALSE(options.schedule.inner.forwardProgressRule);
+    EXPECT_FALSE(options.schedule.forwardProgressRule);
     EXPECT_EQ(options.graph.delayMode, graph::DelayMode::kConservative);
-    EXPECT_EQ(options.schedule.inner.randomSeed, 42u);
+    EXPECT_EQ(options.schedule.randomSeed, 42u);
 
     const auto w = workloads::kernelByName("daxpy");
     core::SoftwarePipeliner pipeliner(machine::cydra5(), options);

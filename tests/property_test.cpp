@@ -310,13 +310,13 @@ TEST_P(BudgetProperty, LargerBudgetNeverWorsensIi)
         const auto loop = workloads::generateLoop(rng, "b");
         const auto g = graph::buildDepGraph(loop, machine);
         const auto sccs = graph::findSccs(g);
-        sched::ModuloScheduleOptions tight;
+        sched::ScheduleOptions tight;
         tight.search.budgetRatio = 1.0;
-        sched::ModuloScheduleOptions generous;
+        sched::ScheduleOptions generous;
         generous.search.budgetRatio = 8.0;
-        const auto a = sched::moduloSchedule(loop, machine, g, sccs, tight);
+        const auto a = sched::schedule(loop, machine, g, sccs, tight);
         const auto b =
-            sched::moduloSchedule(loop, machine, g, sccs, generous);
+            sched::schedule(loop, machine, g, sccs, generous);
         EXPECT_LE(b.schedule.ii, a.schedule.ii) << loop.name();
     }
 }

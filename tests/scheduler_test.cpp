@@ -9,7 +9,8 @@
 #include "machine/machines.hpp"
 #include "mii/mii.hpp"
 #include "sched/iterative_scheduler.hpp"
-#include "sched/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "sched/slack_scheduler.hpp"
 #include "sched/verifier.hpp"
 #include "support/error.hpp"
 #include "workloads/kernels.hpp"
@@ -72,10 +73,10 @@ TEST(IterativeSchedulerTest, TinyBudgetFails)
 TEST(IterativeSchedulerTest, BudgetExhaustionRecoversAtLargerIi)
 {
     Context ctx("div_kernel");
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 2.0;
-    const auto outcome = sched::moduloSchedule(ctx.loop, ctx.machine,
-                                               ctx.graph, ctx.sccs, options);
+    const auto outcome = sched::schedule(ctx.loop, ctx.machine, ctx.graph,
+                                         ctx.sccs, options);
     EXPECT_GE(outcome.schedule.ii, outcome.mii);
     EXPECT_TRUE(sched::verifySchedule(ctx.loop, ctx.machine, ctx.graph,
                                       outcome.schedule)
@@ -119,8 +120,7 @@ TEST(ModuloSchedulerTest, AllKernelsScheduleAndVerify)
     for (const auto& w : workloads::kernelLibrary()) {
         const auto graph = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(graph);
-        const auto outcome =
-            sched::moduloSchedule(w.loop, machine, graph, sccs);
+        const auto outcome = sched::schedule(w.loop, machine, graph, sccs);
         EXPECT_GE(outcome.schedule.ii, outcome.mii) << w.loop.name();
         const auto violations = sched::verifySchedule(
             w.loop, machine, graph, outcome.schedule);
@@ -134,13 +134,13 @@ TEST(ModuloSchedulerTest, BudgetRatioSixMatchesPaperQualitySetup)
     // The paper's quality experiments use BudgetRatio 6; all kernels must
     // reach II = MII with it.
     const auto machine = machine::cydra5();
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 6.0;
     for (const auto& w : workloads::kernelLibrary()) {
         const auto graph = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(graph);
         const auto outcome =
-            sched::moduloSchedule(w.loop, machine, graph, sccs, options);
+            sched::schedule(w.loop, machine, graph, sccs, options);
         EXPECT_EQ(outcome.schedule.ii, outcome.mii) << w.loop.name();
     }
 }
@@ -148,18 +148,18 @@ TEST(ModuloSchedulerTest, BudgetRatioSixMatchesPaperQualitySetup)
 TEST(ModuloSchedulerTest, InvalidBudgetRatioRejected)
 {
     Context ctx("daxpy");
-    sched::ModuloScheduleOptions options;
+    sched::ScheduleOptions options;
     options.search.budgetRatio = 0.0;
-    EXPECT_THROW(sched::moduloSchedule(ctx.loop, ctx.machine, ctx.graph,
-                                       ctx.sccs, options),
+    EXPECT_THROW(sched::schedule(ctx.loop, ctx.machine, ctx.graph,
+                                 ctx.sccs, options),
                  support::Error);
 }
 
 TEST(ModuloSchedulerTest, AttemptsCountsCandidateIis)
 {
     Context ctx("daxpy");
-    const auto outcome = sched::moduloSchedule(ctx.loop, ctx.machine,
-                                               ctx.graph, ctx.sccs);
+    const auto outcome =
+        sched::schedule(ctx.loop, ctx.machine, ctx.graph, ctx.sccs);
     EXPECT_EQ(outcome.attempts, outcome.schedule.ii - outcome.mii + 1);
 }
 
@@ -173,13 +173,13 @@ TEST(ModuloSchedulerTest, PriorityAblationStillProducesLegalSchedules)
         const auto w = workloads::kernelByName("state_frag");
         const auto graph = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(graph);
-        sched::ModuloScheduleOptions options;
-        options.inner.priority = scheme;
+        sched::ScheduleOptions options;
+        options.priority = scheme;
         // Weak priority functions displace far more (that is the point of
         // the ablation); give them the paper's quality budget.
         options.search.budgetRatio = 6.0;
         const auto outcome =
-            sched::moduloSchedule(w.loop, machine, graph, sccs, options);
+            sched::schedule(w.loop, machine, graph, sccs, options);
         EXPECT_TRUE(sched::verifySchedule(w.loop, machine, graph,
                                           outcome.schedule)
                         .empty())
@@ -196,10 +196,10 @@ TEST(ModuloSchedulerTest, ForwardProgressAblationTerminatesViaBudget)
     const auto w = workloads::kernelByName("div_kernel");
     const auto graph = graph::buildDepGraph(w.loop, machine);
     const auto sccs = graph::findSccs(graph);
-    sched::ModuloScheduleOptions options;
-    options.inner.forwardProgressRule = false;
+    sched::ScheduleOptions options;
+    options.forwardProgressRule = false;
     const auto outcome =
-        sched::moduloSchedule(w.loop, machine, graph, sccs, options);
+        sched::schedule(w.loop, machine, graph, sccs, options);
     EXPECT_TRUE(sched::verifySchedule(w.loop, machine, graph,
                                       outcome.schedule)
                     .empty());
@@ -221,8 +221,7 @@ TEST(ModuloSchedulerTest, UnscheduleCountsNoWorseThanSeed)
     for (const auto& w : workloads::kernelLibrary()) {
         const auto graph = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(graph);
-        const auto outcome =
-            sched::moduloSchedule(w.loop, machine, graph, sccs);
+        const auto outcome = sched::schedule(w.loop, machine, graph, sccs);
         const auto it = seed_unschedules.find(w.loop.name());
         const std::int64_t allowed =
             it == seed_unschedules.end() ? 0 : it->second;
@@ -321,6 +320,50 @@ TEST(VerifierTest, DetectsBadAlternativeIndex)
     EXPECT_FALSE(
         sched::verifySchedule(ctx.loop, ctx.machine, ctx.graph, *result)
             .empty());
+}
+
+TEST(LegacyApiTest, DeprecatedWrappersMatchScheduleDispatch)
+{
+    // The deprecated moduloSchedule()/slackModuloSchedule() wrappers are
+    // kept for one release; they must produce bit-identical outcomes to
+    // sched::schedule() with the corresponding strategy.
+    Context ctx("daxpy");
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    sched::ModuloScheduleOptions legacy;
+    legacy.search.budgetRatio = 6.0;
+    legacy.inner.priority = sched::PriorityScheme::kHeightR;
+    const auto old_iter = sched::moduloSchedule(ctx.loop, ctx.machine,
+                                                ctx.graph, ctx.sccs, legacy);
+    sched::SlackScheduleOptions legacy_slack;
+    const auto old_slack = sched::slackModuloSchedule(
+        ctx.loop, ctx.machine, ctx.graph, ctx.sccs, legacy_slack);
+#pragma GCC diagnostic pop
+    sched::ScheduleOptions options;
+    options.search.budgetRatio = 6.0;
+    const auto new_iter =
+        sched::schedule(ctx.loop, ctx.machine, ctx.graph, ctx.sccs, options);
+    options = sched::ScheduleOptions{}.withStrategy(
+        sched::SchedulerStrategy::kSlack);
+    const auto new_slack =
+        sched::schedule(ctx.loop, ctx.machine, ctx.graph, ctx.sccs, options);
+    EXPECT_EQ(old_iter.schedule.times, new_iter.schedule.times);
+    EXPECT_EQ(old_iter.scheduler, "iterative");
+    EXPECT_EQ(old_slack.schedule.times, new_slack.schedule.times);
+    EXPECT_EQ(old_slack.scheduler, "slack");
+}
+
+TEST(ScheduleApiTest, StrategyNamesRoundTrip)
+{
+    for (const auto strategy : {sched::SchedulerStrategy::kIterative,
+                                sched::SchedulerStrategy::kSlack,
+                                sched::SchedulerStrategy::kExact}) {
+        const auto name = sched::schedulerStrategyName(strategy);
+        const auto parsed = sched::schedulerStrategyByName(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, strategy) << name;
+    }
+    EXPECT_FALSE(sched::schedulerStrategyByName("nonsense").has_value());
 }
 
 TEST(VerifierTest, DetectsBadIi)

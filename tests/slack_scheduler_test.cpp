@@ -4,7 +4,7 @@
 #include "graph/scc.hpp"
 #include "machine/cydra5.hpp"
 #include "machine/machines.hpp"
-#include "sched/slack_scheduler.hpp"
+#include "sched/schedule.hpp"
 #include "sched/verifier.hpp"
 #include "sim/pipeline_simulator.hpp"
 #include "sim/sequential_interpreter.hpp"
@@ -20,13 +20,14 @@ using namespace ims;
 TEST(SlackSchedulerTest, AllKernelsScheduleVerifyAndSimulate)
 {
     const auto machine = machine::cydra5();
-    sched::SlackScheduleOptions options;
+    sched::ScheduleOptions options;
+    options.strategy = sched::SchedulerStrategy::kSlack;
     options.search.budgetRatio = 6.0;
     for (const auto& w : workloads::kernelLibrary()) {
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
-        const auto outcome = sched::slackModuloSchedule(w.loop, machine,
-                                                        g, sccs, options);
+        const auto outcome =
+            sched::schedule(w.loop, machine, g, sccs, options);
         EXPECT_GE(outcome.schedule.ii, outcome.mii) << w.loop.name();
         const auto violations = sched::verifySchedule(
             w.loop, machine, g, outcome.schedule);
@@ -44,15 +45,16 @@ TEST(SlackSchedulerTest, AllKernelsScheduleVerifyAndSimulate)
 TEST(SlackSchedulerTest, ReachesMiiOnEasyKernels)
 {
     const auto machine = machine::cydra5();
-    sched::SlackScheduleOptions options;
+    sched::ScheduleOptions options;
+    options.strategy = sched::SchedulerStrategy::kSlack;
     options.search.budgetRatio = 6.0;
     for (const char* name :
          {"daxpy", "vec_copy", "init_store", "dot_raw", "tridiag"}) {
         const auto w = workloads::kernelByName(name);
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
-        const auto outcome = sched::slackModuloSchedule(w.loop, machine,
-                                                        g, sccs, options);
+        const auto outcome =
+            sched::schedule(w.loop, machine, g, sccs, options);
         EXPECT_EQ(outcome.schedule.ii, outcome.mii) << name;
     }
 }
@@ -60,7 +62,8 @@ TEST(SlackSchedulerTest, ReachesMiiOnEasyKernels)
 TEST(SlackSchedulerTest, RandomLoopsProperty)
 {
     const auto machine = machine::cydra5();
-    sched::SlackScheduleOptions options;
+    sched::ScheduleOptions options;
+    options.strategy = sched::SchedulerStrategy::kSlack;
     options.search.budgetRatio = 6.0;
     support::Rng rng(424242);
     for (int k = 0; k < 40; ++k) {
@@ -69,7 +72,7 @@ TEST(SlackSchedulerTest, RandomLoopsProperty)
         const auto g = graph::buildDepGraph(loop, machine);
         const auto sccs = graph::findSccs(g);
         const auto outcome =
-            sched::slackModuloSchedule(loop, machine, g, sccs, options);
+            sched::schedule(loop, machine, g, sccs, options);
         const auto violations =
             sched::verifySchedule(loop, machine, g, outcome.schedule);
         ASSERT_TRUE(violations.empty())
@@ -85,15 +88,16 @@ TEST(SlackSchedulerTest, RandomLoopsProperty)
 
 TEST(SlackSchedulerTest, WorksAcrossMachines)
 {
-    sched::SlackScheduleOptions options;
+    sched::ScheduleOptions options;
+    options.strategy = sched::SchedulerStrategy::kSlack;
     options.search.budgetRatio = 6.0;
     for (const auto& machine :
          {machine::clean64(), machine::wideVliw(), machine::scalarToy()}) {
         const auto w = workloads::kernelByName("state_frag");
         const auto g = graph::buildDepGraph(w.loop, machine);
         const auto sccs = graph::findSccs(g);
-        const auto outcome = sched::slackModuloSchedule(w.loop, machine,
-                                                        g, sccs, options);
+        const auto outcome =
+            sched::schedule(w.loop, machine, g, sccs, options);
         EXPECT_TRUE(sched::verifySchedule(w.loop, machine, g,
                                           outcome.schedule)
                         .empty())
@@ -107,10 +111,10 @@ TEST(SlackSchedulerTest, InvalidBudgetRejected)
     const auto w = workloads::kernelByName("daxpy");
     const auto g = graph::buildDepGraph(w.loop, machine);
     const auto sccs = graph::findSccs(g);
-    sched::SlackScheduleOptions options;
+    sched::ScheduleOptions options;
+    options.strategy = sched::SchedulerStrategy::kSlack;
     options.search.budgetRatio = 0.0;
-    EXPECT_THROW(sched::slackModuloSchedule(w.loop, machine, g, sccs,
-                                            options),
+    EXPECT_THROW(sched::schedule(w.loop, machine, g, sccs, options),
                  support::Error);
 }
 

@@ -24,6 +24,14 @@
  *                          "none" disables writing)
  *   --no-minimize          keep findings at their generated size
  *   --trips <a,b,c>        sim-oracle trip counts (default 0,1,2,5,17)
+ *   --scheduler <iterative|slack|exact>  scheduling backend the pipeline
+ *                          under test uses (default iterative)
+ *   --oracle <name>        enable an optional oracle class; currently
+ *                          "opt.ii_gap": re-pipeline each clean case with
+ *                          the exact backend and report heuristic IIs
+ *                          above the proven optimum (budget-exhausted
+ *                          exact searches are skipped, not findings)
+ *   --exact-budget <n>     exact-backend node budget per candidate II
  *   --ii-search <linear|racing>  II search strategy the pipeline under
  *                          test uses; racing must be bit-identical to
  *                          linear, so the campaign's thread-invariance
@@ -66,6 +74,9 @@ struct CliOptions
     std::string reproDir = "tests/repro";
     bool minimize = true;
     std::vector<int> trips = {0, 1, 2, 5, 17};
+    std::string scheduler = "iterative";
+    std::vector<std::string> oracles;
+    std::int64_t exactBudget = sched::kDefaultExactNodeBudget;
     std::string iiSearch = "linear";
     int iiThreads = 0;
     bool injectDelayFault = false;
@@ -82,6 +93,9 @@ usage(int code)
            "                [--out <file|->] [--repro-dir <dir|none>]\n"
            "                [--no-minimize] [--trips a,b,c] "
            "[--inject-delay-fault]\n"
+           "                [--scheduler iterative|slack|exact] "
+           "[--oracle opt.ii_gap]\n"
+           "                [--exact-budget N]\n"
            "                [--ii-search linear|racing] "
            "[--ii-threads N]\n"
            "       ims-fuzz --replay <file.repro>\n";
@@ -153,6 +167,12 @@ parseArgs(int argc, char** argv)
             options.minimize = false;
         else if (arg == "--trips")
             options.trips = parseTrips(next("a trip list"));
+        else if (arg == "--scheduler")
+            options.scheduler = next("a backend name");
+        else if (arg == "--oracle")
+            options.oracles.push_back(next("an oracle name"));
+        else if (arg == "--exact-budget")
+            options.exactBudget = std::stoll(next("a node budget"));
         else if (arg == "--ii-search")
             options.iiSearch = next("a strategy name");
         else if (arg == "--ii-threads")
@@ -180,7 +200,34 @@ pipelineOptions(const CliOptions& options)
                   << "'\n";
         usage(2);
     }
-    return core::PipelinerOptions{}.withIiSearch(*kind, options.iiThreads);
+    const auto strategy =
+        sched::schedulerStrategyByName(options.scheduler);
+    if (!strategy) {
+        std::cerr << "unknown scheduler backend '" << options.scheduler
+                  << "'\n";
+        usage(2);
+    }
+    return core::PipelinerOptions{}
+        .withIiSearch(*kind, options.iiThreads)
+        .withScheduler(*strategy)
+        .withExactNodeBudget(options.exactBudget);
+}
+
+fuzz::OracleOptions
+oracleOptions(const CliOptions& options)
+{
+    fuzz::OracleOptions oracle;
+    oracle.trips = options.trips;
+    oracle.exactNodeBudget = options.exactBudget;
+    for (const auto& name : options.oracles) {
+        if (name == "opt.ii_gap") {
+            oracle.checkOptimality = true;
+        } else {
+            std::cerr << "unknown oracle class '" << name << "'\n";
+            usage(2);
+        }
+    }
+    return oracle;
 }
 
 int
@@ -192,8 +239,7 @@ replay(const CliOptions& options)
         machine::parseMachine(repro.machineText);
     const ir::Loop loop = ir::parseLoop(repro.loopText);
 
-    fuzz::OracleOptions oracle;
-    oracle.trips = options.trips;
+    fuzz::OracleOptions oracle = oracleOptions(options);
     oracle.simSeed = repro.simSeed;
     const fuzz::OracleVerdict verdict =
         fuzz::runOracles(loop, machine, pipelineOptions(options), oracle);
@@ -232,7 +278,7 @@ main(int argc, char** argv)
         campaign.minimize = options.minimize;
         campaign.reproDir =
             options.reproDir == "none" ? "" : options.reproDir;
-        campaign.oracle.trips = options.trips;
+        campaign.oracle = oracleOptions(options);
         campaign.pipeline = pipelineOptions(options);
         if (!options.machine.empty())
             campaign.machineText = machineText(options.machine);

@@ -10,6 +10,10 @@
  *
  * Options:
  *   --machine cydra5|clean64|wide-vliw|scalar-toy   (default cydra5)
+ *   --scheduler iterative|slack|exact   scheduling backend (default
+ *                            iterative; exact is the branch-and-bound
+ *                            optimality prover)
+ *   --exact-budget <n>       exact-backend node budget per candidate II
  *   --budget-ratio <r>       BudgetRatio (default 2.0; the paper's
  *                            quality studies use 6)
  *   --priority heightr|slack|source-order|random    (default heightr)
@@ -53,6 +57,8 @@ using namespace ims;
 struct CliOptions
 {
     std::string machine = "cydra5";
+    std::string scheduler = "iterative";
+    std::int64_t exactBudget = sched::kDefaultExactNodeBudget;
     double budgetRatio = 2.0;
     std::string priority = "heightr";
     std::string iiSearch = "linear";
@@ -76,6 +82,7 @@ usage(int code)
         << "usage: ims-schedule [options] <file.ir|->... | --kernel "
            "<name>... | --list-kernels\n"
            "  --machine cydra5|clean64|wide-vliw|scalar-toy\n"
+           "  --scheduler iterative|slack|exact  --exact-budget <n>\n"
            "  --budget-ratio <r>   --priority "
            "heightr|slack|source-order|random\n"
            "  --ii-search linear|racing  --ii-threads <n>\n"
@@ -129,6 +136,10 @@ parseArgs(int argc, char** argv)
         };
         if (arg == "--machine")
             options.machine = next("a machine name");
+        else if (arg == "--scheduler")
+            options.scheduler = next("a backend name");
+        else if (arg == "--exact-budget")
+            options.exactBudget = std::stoll(next("a node budget"));
         else if (arg == "--budget-ratio")
             options.budgetRatio = std::stod(next("a ratio"));
         else if (arg == "--priority")
@@ -197,13 +208,21 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
         usage(2);
     }
     pipeline_options.withIiSearch(*search_kind, options.iiThreads);
-    pipeline_options.schedule.inner.priority =
-        priorityByName(options.priority);
+    const auto strategy =
+        sched::schedulerStrategyByName(options.scheduler);
+    if (!strategy) {
+        std::cerr << "unknown scheduler backend '" << options.scheduler
+                  << "'\n";
+        usage(2);
+    }
+    pipeline_options.withScheduler(*strategy)
+        .withExactNodeBudget(options.exactBudget);
+    pipeline_options.schedule.priority = priorityByName(options.priority);
     if (options.verify)
         pipeline_options.withSimVerification(true);
     std::vector<sched::TraceEvent> trace;
     if (options.trace)
-        pipeline_options.schedule.inner.trace = &trace;
+        pipeline_options.schedule.trace = &trace;
 
     core::SoftwarePipeliner pipeliner(machine, pipeline_options);
     const auto result = pipeliner.pipeline(core::PipelineRequest(loop));
