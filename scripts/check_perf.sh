@@ -10,6 +10,10 @@
 #     geomean speedup floor at 8 threads is enforced only when the host
 #     has at least 8 hardware threads (the bench reports the gate as
 #     skipped otherwise, and records the core count in the JSON).
+#  3. bench_service — schedule-cache traffic replay: cache hits must be
+#     bit-identical to cold runs, the replay pass must hit >=95% of the
+#     time, and the hit-path p50 latency must be >=10x faster than the
+#     cold-path p50.
 #
 # Usage: scripts/check_perf.sh [build-dir]   (default: build-perf)
 #
@@ -18,6 +22,7 @@
 #       --golden bench/data/sched_identity_seed.json \
 #       --out BENCH_sched_hotpath.json
 #   <build-dir>/bench/bench_ii_search --out BENCH_ii_search.json
+#   <build-dir>/bench/bench_service --out BENCH_service.json
 # and commit the new BENCH_*.json files.
 set -euo pipefail
 
@@ -31,7 +36,8 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_sched_hotpath bench_ii_search
+cmake --build "$BUILD_DIR" -j --target bench_sched_hotpath bench_ii_search \
+    bench_service
 
 echo "== bench_sched_hotpath (identity + >10% regression gate) =="
 "$BUILD_DIR/bench/bench_sched_hotpath" \
@@ -55,5 +61,9 @@ if ! grep -q '"scheduler": "iterative"' "$BUILD_DIR/BENCH_sched_hotpath.json"; t
     echo "check_perf: hot-path samples missing the iterative backend" >&2
     exit 1
 fi
+
+echo "== bench_service (hit identity + >=95% replay hits + 10x hit p50) =="
+"$BUILD_DIR/bench/bench_service" --quick --min-hit-speedup 10 \
+    --out "$BUILD_DIR/BENCH_service.json"
 
 echo "perf: all checks passed"

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Schedule-service replay smoke: drive a canned, fixed request stream
+# through ims-serve twice in one server run and assert
+#
+#  1. every `result` line of pass 2 is byte-identical to pass 1 (the
+#     result line is a pure function of (loop, machine, options); the
+#     cache must never change what is computed, only how fast),
+#  2. >= 95% of pass-2 requests are cache hits (here: all of them —
+#     the stream repeats pass 1 exactly),
+#  3. a second, fresh server process replaying the same stream produces
+#     byte-identical `result` lines (cross-process determinism).
+#
+# Usage: scripts/check_service.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/ims-serve"
+SMOKE_DIR="$BUILD_DIR/service-smoke"
+
+if [ ! -x "$SERVE" ]; then
+    echo "check_service: $SERVE not built" >&2
+    exit 1
+fi
+mkdir -p "$SMOKE_DIR"
+
+cat > "$SMOKE_DIR/daxpy.ir" <<'EOF'
+loop daxpy
+livein a
+recurrence ax
+ax = aadd ax[3], #24
+xv = load ax @ X 0
+yv = load ax @ Y 0
+t = mul a, xv
+s = add t, yv
+_ = store ax, s @ Y 0
+recurrence n
+n = asub n[3], #3
+_ = branch n
+EOF
+
+cat > "$SMOKE_DIR/dot.ir" <<'EOF'
+loop dot
+recurrence ax
+ax = aadd ax[1], #8
+recurrence bx
+bx = aadd bx[1], #8
+xv = load ax @ X 0
+yv = load bx @ Y 0
+p = mul xv, yv
+recurrence acc
+acc = add acc[1], p
+recurrence n
+n = asub n[1], #1
+_ = branch n
+EOF
+
+cat > "$SMOKE_DIR/scale.ir" <<'EOF'
+loop scale
+livein k
+recurrence ax
+ax = aadd ax[2], #16
+xv = load ax @ X 0
+y = mul k, xv
+_ = store ax, y @ X 0
+recurrence n
+n = asub n[2], #2
+_ = branch n
+EOF
+
+# One pass of the canned stream: each loop on two machines, from two
+# clients, with the hot loop repeated — 8 requests per pass.
+emit_pass() {
+    local loop
+    for loop in daxpy dot scale daxpy; do
+        printf 'schedule %s client=ci machine=cydra5\n' \
+            "$(wc -c < "$SMOKE_DIR/$loop.ir")"
+        cat "$SMOKE_DIR/$loop.ir"
+    done
+    for loop in daxpy scale; do
+        printf 'schedule %s client=ci2 machine=clean64\n' \
+            "$(wc -c < "$SMOKE_DIR/$loop.ir")"
+        cat "$SMOKE_DIR/$loop.ir"
+    done
+}
+emit_pass > "$SMOKE_DIR/pass.req"
+PASS_REQUESTS=6
+
+cat "$SMOKE_DIR/pass.req" "$SMOKE_DIR/pass.req" > "$SMOKE_DIR/stream.req"
+
+# Single worker for the replay run: requests complete strictly in
+# order, so every pass-2 request finds its pass-1 entry resident.
+"$SERVE" --threads 1 < "$SMOKE_DIR/stream.req" > "$SMOKE_DIR/run1.out"
+grep '^result' "$SMOKE_DIR/run1.out" > "$SMOKE_DIR/run1.results"
+
+TOTAL=$(wc -l < "$SMOKE_DIR/run1.results")
+if [ "$TOTAL" -ne $((2 * PASS_REQUESTS)) ]; then
+    echo "check_service: expected $((2 * PASS_REQUESTS)) results, got $TOTAL" >&2
+    exit 1
+fi
+
+echo "== replay identity (pass 2 vs pass 1, byte-for-byte) =="
+head -n "$PASS_REQUESTS" "$SMOKE_DIR/run1.results" > "$SMOKE_DIR/pass1.results"
+tail -n "$PASS_REQUESTS" "$SMOKE_DIR/run1.results" > "$SMOKE_DIR/pass2.results"
+if ! diff -u "$SMOKE_DIR/pass1.results" "$SMOKE_DIR/pass2.results"; then
+    echo "check_service: replayed results differ from the cold pass" >&2
+    exit 1
+fi
+
+echo "== pass-2 hit rate (floor: 95%) =="
+PASS2_HITS=$(grep '^meta' "$SMOKE_DIR/run1.out" | tail -n "$PASS_REQUESTS" \
+    | grep -c 'hit=1' || true)
+# ceil(0.95 * PASS_REQUESTS)
+MIN_HITS=$(( (PASS_REQUESTS * 95 + 99) / 100 ))
+echo "pass-2 hits: $PASS2_HITS / $PASS_REQUESTS (need >= $MIN_HITS)"
+if [ "$PASS2_HITS" -lt "$MIN_HITS" ]; then
+    echo "check_service: pass-2 hit rate below 95%" >&2
+    exit 1
+fi
+
+echo "== cross-process determinism (fresh server, same stream) =="
+"$SERVE" --threads 2 < "$SMOKE_DIR/stream.req" | grep '^result' \
+    > "$SMOKE_DIR/run2.results"
+if ! diff -u "$SMOKE_DIR/run1.results" "$SMOKE_DIR/run2.results"; then
+    echo "check_service: results differ across server processes" >&2
+    exit 1
+fi
+
+echo "service smoke: all checks passed"

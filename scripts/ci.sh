@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local CI: tier-1 tests, ThreadSanitizer concurrency checks, the
-# scheduler hot-path performance gate, and a differential-fuzz smoke run.
+# scheduler hot-path performance gate, a differential-fuzz smoke run,
+# and a schedule-service replay smoke.
 #
 # Usage: scripts/ci.sh
 #   IMS_CI_SKIP_TSAN=1  skips the ThreadSanitizer stage (e.g. where the
@@ -8,33 +9,34 @@
 #   IMS_CI_SKIP_PERF=1  skips the performance gate (e.g. on loaded or
 #                       throttled machines where timing is meaningless).
 #   IMS_CI_SKIP_FUZZ=1  skips the fuzz smoke stage.
+#   IMS_CI_SKIP_SERVICE=1  skips the service replay smoke.
 #   FUZZ_BUDGET=<N>     fuzz case count (default 500 — the quick smoke
 #                       run; set e.g. 20000 for a long overnight run).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== stage 1/4: tier-1 tests ===="
+echo "==== stage 1/5: tier-1 tests ===="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [ "${IMS_CI_SKIP_TSAN:-0}" != "1" ]; then
-    echo "==== stage 2/4: ThreadSanitizer ===="
+    echo "==== stage 2/5: ThreadSanitizer ===="
     scripts/check_tsan.sh
 else
-    echo "==== stage 2/4: ThreadSanitizer (skipped) ===="
+    echo "==== stage 2/5: ThreadSanitizer (skipped) ===="
 fi
 
 if [ "${IMS_CI_SKIP_PERF:-0}" != "1" ]; then
-    echo "==== stage 3/4: performance gate ===="
+    echo "==== stage 3/5: performance gate ===="
     scripts/check_perf.sh
 else
-    echo "==== stage 3/4: performance gate (skipped) ===="
+    echo "==== stage 3/5: performance gate (skipped) ===="
 fi
 
 if [ "${IMS_CI_SKIP_FUZZ:-0}" != "1" ]; then
-    echo "==== stage 4/4: differential fuzz smoke ===="
+    echo "==== stage 4/5: differential fuzz smoke ===="
     # Fixed seed so the stage is reproducible; any finding fails CI and
     # leaves its minimized reproducer under build/fuzz-repro/ for replay
     # with `build/tools/ims-fuzz --replay <file>`. The pipeline under
@@ -60,7 +62,14 @@ if [ "${IMS_CI_SKIP_FUZZ:-0}" != "1" ]; then
         exit 1
     fi
 else
-    echo "==== stage 4/4: differential fuzz smoke (skipped) ===="
+    echo "==== stage 4/5: differential fuzz smoke (skipped) ===="
+fi
+
+if [ "${IMS_CI_SKIP_SERVICE:-0}" != "1" ]; then
+    echo "==== stage 5/5: schedule-service replay smoke ===="
+    scripts/check_service.sh build
+else
+    echo "==== stage 5/5: schedule-service replay smoke (skipped) ===="
 fi
 
 echo "ci: all stages passed"

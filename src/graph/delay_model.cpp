@@ -11,6 +11,22 @@ std::atomic<bool> g_delay_fault{false};
 
 } // namespace
 
+std::string
+delayModeName(DelayMode mode)
+{
+    return mode == DelayMode::kExact ? "exact" : "conservative";
+}
+
+std::optional<DelayMode>
+delayModeByName(std::string_view name)
+{
+    if (name == "exact")
+        return DelayMode::kExact;
+    if (name == "conservative")
+        return DelayMode::kConservative;
+    return std::nullopt;
+}
+
 void
 setDelayFaultForTesting(bool enabled)
 {

@@ -1,6 +1,10 @@
 #ifndef IMS_GRAPH_DELAY_MODEL_HPP
 #define IMS_GRAPH_DELAY_MODEL_HPP
 
+#include <optional>
+#include <string>
+#include <string_view>
+
 #include "graph/dep_graph.hpp"
 
 namespace ims::graph {
@@ -18,6 +22,12 @@ namespace ims::graph {
  * which is "more appropriate for superscalar processors".
  */
 enum class DelayMode { kExact, kConservative };
+
+/** Stable lowercase name ("exact", "conservative"). */
+std::string delayModeName(DelayMode mode);
+
+/** Inverse of delayModeName; nullopt for unknown names. */
+std::optional<DelayMode> delayModeByName(std::string_view name);
 
 /**
  * Dependence delay per Table 1.

@@ -1,6 +1,7 @@
 #include "ir/parser.hpp"
 
 #include <cctype>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -161,12 +162,16 @@ parseLoop(const std::string& text)
             if (token.empty())
                 continue;
             if (token[0] == '#') {
-                try {
-                    operands.push_back(
-                        Operand::makeImm(std::stod(token.substr(1))));
-                } catch (const std::exception&) {
+                // strtod instead of std::stod: stod throws out_of_range
+                // for denormals (e.g. "5e-324"), which the printer emits
+                // for subnormal immediates; strtod returns the rounded
+                // value, keeping print -> parse lossless.
+                const std::string literal = token.substr(1);
+                char* end = nullptr;
+                const double value = std::strtod(literal.c_str(), &end);
+                if (end == literal.c_str() || *end != '\0')
                     fail(line_no, "bad immediate '" + token + "'");
-                }
+                operands.push_back(Operand::makeImm(value));
             } else {
                 auto [name, distance] = parseRegRef(token, line_no);
                 try {

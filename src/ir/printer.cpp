@@ -8,17 +8,31 @@ namespace ims::ir {
 
 namespace {
 
-/** Shortest decimal form that round-trips the double through parsing. */
+/**
+ * Shortest decimal form that round-trips the double through parsing.
+ *
+ * Printing must be a pure function of the value with exactly one spelling
+ * per value — the content-addressed schedule cache keys on this text, so
+ * print(parse(print(x))) == print(x) byte-for-byte is load-bearing. NaN
+ * collapses to "nan" regardless of sign bit or payload (printf would emit
+ * "-nan" for negative NaNs on glibc), infinities to "inf"/"-inf", and the
+ * signbit check keeps "-0" distinct from "0" (the == comparison alone
+ * treats them as equal).
+ */
 std::string
 formatImmediate(double value)
 {
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return std::signbit(value) ? "-inf" : "inf";
     char buffer[64];
     for (int precision = 1; precision <= 17; ++precision) {
         std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
         double reparsed = 0.0;
         std::sscanf(buffer, "%lf", &reparsed);
-        if (reparsed == value ||
-            (std::isnan(reparsed) && std::isnan(value)))
+        if (reparsed == value &&
+            std::signbit(reparsed) == std::signbit(value))
             break;
     }
     return buffer;

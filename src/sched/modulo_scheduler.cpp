@@ -143,41 +143,4 @@ runIterativeSchedule(const ir::Loop& loop,
 
 } // namespace detail
 
-namespace {
-
-/** Lift the deprecated per-backend options onto the shared struct. */
-ScheduleOptions
-liftLegacyOptions(const ModuloScheduleOptions& options)
-{
-    ScheduleOptions lifted;
-    lifted.strategy = SchedulerStrategy::kIterative;
-    lifted.search = options.search;
-    lifted.priority = options.inner.priority;
-    lifted.forwardProgressRule = options.inner.forwardProgressRule;
-    lifted.randomSeed = options.inner.randomSeed;
-    lifted.trace = options.inner.trace;
-    lifted.telemetry = options.inner.telemetry;
-    return lifted;
-}
-
-} // namespace
-
-ModuloScheduleOutcome
-moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
-               const graph::DepGraph& graph, const graph::SccResult& sccs,
-               const ModuloScheduleOptions& options,
-               support::Counters* counters)
-{
-    return schedule(loop, machine, graph, sccs, liftLegacyOptions(options),
-                    counters);
-}
-
-ModuloScheduleOutcome
-moduloSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
-               const ModuloScheduleOptions& options,
-               support::Counters* counters)
-{
-    return schedule(loop, machine, liftLegacyOptions(options), counters);
-}
-
 } // namespace ims::sched

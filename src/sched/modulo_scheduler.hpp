@@ -17,25 +17,6 @@
 namespace ims::sched {
 
 /**
- * Options for the full ModuloSchedule driver (Figure 2).
- *
- * @deprecated Superseded by sched::ScheduleOptions (sched/schedule.hpp),
- * which flattens these fields and adds the backend selector; this alias
- * is kept for one release for out-of-tree callers of the deprecated
- * moduloSchedule() wrappers.
- */
-struct ModuloScheduleOptions
-{
-    /**
-     * The outer II loop's policy and budget knobs (BudgetRatio,
-     * maxIiIncrease, linear vs racing) — shared verbatim with the slack
-     * scheduler's SlackScheduleOptions, so the two drivers cannot drift.
-     */
-    IiSearchOptions search;
-    IterativeScheduleOptions inner;
-};
-
-/**
  * How the II search itself went: strategy identity plus race
  * observability. Everything except `strategy`, `records` and the
  * derived deterministic statistics depends on thread timing —
@@ -108,9 +89,9 @@ struct ModuloScheduleOutcome
  * `telemetry` in II order, §4.3 budget accounting (every failed attempt
  * bills its full budget; the winner bills the steps it used).
  *
- * Both moduloSchedule and slackModuloSchedule are thin wrappers over
- * this driver; they differ only in the attempt callback and the
- * exhaustion message.
+ * Every backend behind sched::schedule() (iterative, slack, exact) is a
+ * thin wrapper over this driver; they differ only in the attempt
+ * callback and the exhaustion message.
  *
  * @throws support::CodedError (code "sched.ii_exhausted", message built
  *         lazily from `exhausted_message`) when every candidate fails.
@@ -120,42 +101,6 @@ runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
             std::int64_t budget, const IiAttemptFn& attempt,
             support::Counters* counters, support::TelemetrySink* telemetry,
             const std::function<std::string()>& exhausted_message);
-
-/**
- * The paper's procedure ModuloSchedule (Figure 2): compute the MII, then
- * invoke IterativeSchedule with successively larger candidate IIs, each
- * with a budget of BudgetRatio * NumberOfOperations scheduling steps,
- * until a legal modulo schedule is found.
- *
- * @throws support::CodedError (code "sched.ii_exhausted") if no schedule
- *         is found within options.search.maxIiIncrease above the MII (in
- *         practice an acyclic graph is always schedulable once II
- *         reaches the list-schedule length, so this indicates a
- *         pathological input).
- *
- * @deprecated Use sched::schedule() (sched/schedule.hpp) with
- * SchedulerStrategy::kIterative — the default — instead; this thin
- * wrapper is kept for one release.
- */
-[[deprecated("use sched::schedule() from sched/schedule.hpp")]]
-ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
-                                     const machine::MachineModel& machine,
-                                     const graph::DepGraph& graph,
-                                     const graph::SccResult& sccs,
-                                     const ModuloScheduleOptions& options =
-                                         {},
-                                     support::Counters* counters = nullptr);
-
-/**
- * Convenience overload: builds the dependence graph and SCCs itself.
- * @deprecated Use sched::schedule() (sched/schedule.hpp) instead.
- */
-[[deprecated("use sched::schedule() from sched/schedule.hpp")]]
-ModuloScheduleOutcome moduloSchedule(const ir::Loop& loop,
-                                     const machine::MachineModel& machine,
-                                     const ModuloScheduleOptions& options =
-                                         {},
-                                     support::Counters* counters = nullptr);
 
 } // namespace ims::sched
 

@@ -47,6 +47,18 @@ prioritySchemeName(PriorityScheme scheme)
     return "?";
 }
 
+std::optional<PriorityScheme>
+prioritySchemeByName(std::string_view name)
+{
+    for (const auto scheme :
+         {PriorityScheme::kHeightR, PriorityScheme::kSlack,
+          PriorityScheme::kSourceOrder, PriorityScheme::kRandom}) {
+        if (name == prioritySchemeName(scheme))
+            return scheme;
+    }
+    return std::nullopt;
+}
+
 std::vector<std::int64_t>
 computePriorities(const graph::DepGraph& graph, const graph::SccResult& sccs,
                   int ii, PriorityScheme scheme, std::uint64_t seed,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/dep_graph.hpp"
@@ -34,6 +35,9 @@ enum class PriorityScheme
 
 /** Name for a scheme ("heightr", "slack", ...). */
 std::string prioritySchemeName(PriorityScheme scheme);
+
+/** Inverse of prioritySchemeName; nullopt for unknown names. */
+std::optional<PriorityScheme> prioritySchemeByName(std::string_view name);
 
 /**
  * Reusable buffers for per-II priority computation. One workspace lives

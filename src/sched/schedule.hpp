@@ -48,11 +48,10 @@ std::optional<SchedulerStrategy>
 schedulerStrategyByName(std::string_view name);
 
 /**
- * The shared options for sched::schedule() — one flat struct replacing
- * the per-backend ModuloScheduleOptions/SlackScheduleOptions pair (both
- * kept as thin deprecated aliases for one release). The priority/seed/
- * trace knobs apply to the iterative backend; `exactNodeBudget` to the
- * exact backend; `search` and `telemetry` to all three.
+ * The shared options for sched::schedule() — one flat struct covering
+ * every backend. The priority/seed/trace knobs apply to the iterative
+ * backend; `exactNodeBudget` to the exact backend; `search` and
+ * `telemetry` to all three.
  */
 struct ScheduleOptions
 {
@@ -172,8 +171,9 @@ runExactSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
 /**
  * The single scheduling entry point: compute the MII, then run the
  * backend selected by options.strategy over candidate IIs under the
- * configured II-search strategy (the paper's Figure 2). Replaces the
- * deprecated moduloSchedule()/slackModuloSchedule() free-function pair.
+ * configured II-search strategy (the paper's Figure 2). (The pre-PR-6
+ * per-backend free functions were deprecated for one release and have
+ * been removed; see docs/api.md for the migration table.)
  *
  * @throws support::CodedError "sched.ii_exhausted" when every candidate
  *         II fails, and "exact.budget_exhausted" when the exact backend

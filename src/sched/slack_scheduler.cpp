@@ -364,18 +364,4 @@ runSlackSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
 
 } // namespace detail
 
-ModuloScheduleOutcome
-slackModuloSchedule(const ir::Loop& loop,
-                    const machine::MachineModel& machine,
-                    const graph::DepGraph& graph,
-                    const graph::SccResult& sccs,
-                    const SlackScheduleOptions& options,
-                    support::Counters* counters)
-{
-    ScheduleOptions lifted;
-    lifted.strategy = SchedulerStrategy::kSlack;
-    lifted.search = options.search;
-    return schedule(loop, machine, graph, sccs, lifted, counters);
-}
-
 } // namespace ims::sched

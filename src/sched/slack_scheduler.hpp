@@ -11,21 +11,6 @@
 namespace ims::sched {
 
 /**
- * Options for the slack scheduler: just the shared II-search policy
- * (BudgetRatio, maxIiIncrease, linear vs racing) — the same
- * IiSearchOptions ModuloScheduleOptions embeds, so the outer-loop knobs
- * exist exactly once for both algorithms.
- *
- * @deprecated Superseded by sched::ScheduleOptions (sched/schedule.hpp)
- * with SchedulerStrategy::kSlack; kept for one release alongside the
- * deprecated slackModuloSchedule() wrapper.
- */
-struct SlackScheduleOptions
-{
-    IiSearchOptions search;
-};
-
-/**
  * A lifetime-sensitive, bidirectional slack modulo scheduler in the
  * style of Huff [18] — the alternative algorithm the paper credits for
  * the minimal cost-to-time-ratio (MinDist) formulation and contrasts
@@ -45,21 +30,11 @@ struct SlackScheduleOptions
  *    with the same forward-progress rule as iterative modulo scheduling;
  *  - the step budget is BudgetRatio * (N + 2), as in Figure 2/3.
  *
- * Returns the same outcome type as moduloSchedule() so the two
- * algorithms can be compared head to head (bench_abl_huff_slack).
- *
- * @deprecated Use sched::schedule() (sched/schedule.hpp) with
- * SchedulerStrategy::kSlack instead; this thin wrapper is kept for one
- * release.
+ * Returns the same outcome type as the iterative backend so the two
+ * algorithms can be compared head to head (bench_abl_huff_slack). Reached
+ * through sched::schedule() with SchedulerStrategy::kSlack; the scheduler
+ * itself lives in detail::runSlackSchedule (sched/schedule.hpp).
  */
-[[deprecated("use sched::schedule() with SchedulerStrategy::kSlack")]]
-ModuloScheduleOutcome
-slackModuloSchedule(const ir::Loop& loop,
-                    const machine::MachineModel& machine,
-                    const graph::DepGraph& graph,
-                    const graph::SccResult& sccs,
-                    const SlackScheduleOptions& options = {},
-                    support::Counters* counters = nullptr);
 
 } // namespace ims::sched
 

@@ -1,0 +1,161 @@
+#include "service/options_codec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ims::service {
+
+namespace {
+
+/** Shortest decimal form that round-trips the double (cf. ir/printer). */
+std::string
+formatDoubleKey(double value)
+{
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return std::signbit(value) ? "-inf" : "inf";
+    char buffer[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+        double reparsed = 0.0;
+        std::sscanf(buffer, "%lf", &reparsed);
+        if (reparsed == value &&
+            std::signbit(reparsed) == std::signbit(value))
+            break;
+    }
+    return buffer;
+}
+
+std::string
+tripsText(const std::vector<int>& trips)
+{
+    std::string out;
+    for (std::size_t i = 0; i < trips.size(); ++i)
+        out += (i > 0 ? "," : "") + std::to_string(trips[i]);
+    return out.empty() ? "-" : out;
+}
+
+std::vector<int>
+parseTrips(const std::string& text)
+{
+    std::vector<int> trips;
+    if (text == "-")
+        return trips;
+    std::string item;
+    for (const char c : text + ",") {
+        if (c == ',') {
+            try {
+                trips.push_back(std::stoi(item));
+            } catch (const std::exception&) {
+                throw support::Error("options text: bad trip '" + item +
+                                     "'");
+            }
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    return trips;
+}
+
+} // namespace
+
+std::string
+canonicalOptionsText(const core::PipelinerOptions& options)
+{
+    const auto& schedule = options.schedule;
+    std::ostringstream out;
+    out << "strategy " << sched::schedulerStrategyName(schedule.strategy)
+        << "\n"
+        << "budget_ratio " << formatDoubleKey(schedule.search.budgetRatio)
+        << "\n"
+        << "max_ii_increase " << schedule.search.maxIiIncrease << "\n"
+        << "priority " << sched::prioritySchemeName(schedule.priority)
+        << "\n"
+        << "forward_progress " << (schedule.forwardProgressRule ? 1 : 0)
+        << "\n"
+        << "random_seed " << schedule.randomSeed << "\n"
+        << "exact_node_budget " << schedule.exactNodeBudget << "\n"
+        << "delay_mode " << graph::delayModeName(options.graph.delayMode)
+        << "\n"
+        << "dsa_form " << (options.graph.dsaForm ? 1 : 0) << "\n"
+        << "verify " << (options.verify ? 1 : 0) << "\n"
+        << "verify_sim " << (options.verifySim ? 1 : 0) << "\n"
+        << "verify_sim_trips " << tripsText(options.verifySimTrips) << "\n"
+        << "verify_sim_seed " << options.verifySimSeed << "\n";
+    return out.str();
+}
+
+core::PipelinerOptions
+parseOptionsText(const std::string& text)
+{
+    core::PipelinerOptions options;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const auto space = line.find(' ');
+        support::check(space != std::string::npos,
+                       "options text line " + std::to_string(line_no) +
+                           ": expected 'key value'");
+        const std::string key = line.substr(0, space);
+        const std::string value = line.substr(space + 1);
+        try {
+            if (key == "strategy") {
+                const auto strategy = sched::schedulerStrategyByName(value);
+                support::check(strategy.has_value(),
+                               "unknown strategy '" + value + "'");
+                options.schedule.strategy = *strategy;
+            } else if (key == "budget_ratio") {
+                options.schedule.search.budgetRatio = std::stod(value);
+            } else if (key == "max_ii_increase") {
+                options.schedule.search.maxIiIncrease = std::stoi(value);
+            } else if (key == "priority") {
+                const auto scheme = sched::prioritySchemeByName(value);
+                support::check(scheme.has_value(),
+                               "unknown priority '" + value + "'");
+                options.schedule.priority = *scheme;
+            } else if (key == "forward_progress") {
+                options.schedule.forwardProgressRule = value == "1";
+            } else if (key == "random_seed") {
+                options.schedule.randomSeed = std::stoull(value);
+            } else if (key == "exact_node_budget") {
+                options.schedule.exactNodeBudget = std::stoll(value);
+            } else if (key == "delay_mode") {
+                const auto mode = graph::delayModeByName(value);
+                support::check(mode.has_value(),
+                               "unknown delay mode '" + value + "'");
+                options.graph.delayMode = *mode;
+            } else if (key == "dsa_form") {
+                options.graph.dsaForm = value == "1";
+            } else if (key == "verify") {
+                options.verify = value == "1";
+            } else if (key == "verify_sim") {
+                options.verifySim = value == "1";
+            } else if (key == "verify_sim_trips") {
+                options.verifySimTrips = parseTrips(value);
+            } else if (key == "verify_sim_seed") {
+                options.verifySimSeed = std::stoull(value);
+            } else {
+                throw support::Error("unknown key '" + key + "'");
+            }
+        } catch (const support::Error&) {
+            throw;
+        } catch (const std::exception&) {
+            throw support::Error("options text line " +
+                                 std::to_string(line_no) + ": bad value '" +
+                                 value + "' for '" + key + "'");
+        }
+    }
+    return options;
+}
+
+} // namespace ims::service

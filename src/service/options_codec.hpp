@@ -1,0 +1,39 @@
+#ifndef IMS_SERVICE_OPTIONS_CODEC_HPP
+#define IMS_SERVICE_OPTIONS_CODEC_HPP
+
+#include <string>
+
+#include "core/pipeliner.hpp"
+
+namespace ims::service {
+
+/**
+ * Canonical, byte-stable text rendering of the *semantically relevant*
+ * pipeline options — the third component of the content-addressed cache
+ * key (see docs/SERVICE.md, "Cache key").
+ *
+ * Normalization drops every knob that is guaranteed not to change the
+ * produced PipelineResult:
+ *  - the II-search strategy kind and worker count (the racing search is
+ *    bit-identical to linear at any thread count, see docs/ALGORITHM.md),
+ *  - telemetry sinks and trace buffers (observability-only pointers).
+ *
+ * Everything else — backend strategy, BudgetRatio, maxIiIncrease,
+ * priority scheme, forward-progress rule, random seed, exact node
+ * budget, delay mode, DSA form, verification flags/trips/seed — is
+ * emitted as one "key value" line each, in a fixed order, with doubles
+ * in their shortest round-tripping decimal form. Two PipelinerOptions
+ * values produce the same text iff they request the same computation.
+ */
+std::string canonicalOptionsText(const core::PipelinerOptions& options);
+
+/**
+ * Inverse of canonicalOptionsText, for cache persistence: rebuild a
+ * PipelinerOptions (sinks null, II search linear) from the canonical
+ * text. @throws support::Error on unknown keys or malformed values.
+ */
+core::PipelinerOptions parseOptionsText(const std::string& text);
+
+} // namespace ims::service
+
+#endif // IMS_SERVICE_OPTIONS_CODEC_HPP

@@ -1,0 +1,259 @@
+#include "service/schedule_cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace ims::service {
+
+namespace {
+
+/** Component separator for the key material: never appears in the
+ *  canonical texts (they are printable-ASCII line-oriented formats). */
+constexpr char kSeparator = '\x1f';
+
+} // namespace
+
+std::string
+CacheKey::material() const
+{
+    std::string out;
+    out.reserve(loopText.size() + machineText.size() + optionsText.size() +
+                2);
+    out += loopText;
+    out += kSeparator;
+    out += machineText;
+    out += kSeparator;
+    out += optionsText;
+    return out;
+}
+
+CacheKey
+CacheKey::make(std::string loop_text, std::string machine_text,
+               std::string options_text)
+{
+    CacheKey key;
+    key.loopText = std::move(loop_text);
+    key.machineText = std::move(machine_text);
+    key.optionsText = std::move(options_text);
+    key.hash = support::fnv1a(key.material());
+    return key;
+}
+
+ScheduleCache::ScheduleCache(CacheOptions options)
+{
+    const int shards = std::max(1, options.shards);
+    const std::size_t capacity = std::max<std::size_t>(1, options.capacity);
+    // Ceil division so the global capacity is never under-provisioned.
+    perShardCapacity_ =
+        (capacity + static_cast<std::size_t>(shards) - 1) / shards;
+    shards_.reserve(shards);
+    for (int i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ScheduleCache::Shard&
+ScheduleCache::shardFor(std::uint64_t hash)
+{
+    return *shards_[hash % shards_.size()];
+}
+
+const ScheduleCache::Shard&
+ScheduleCache::shardFor(std::uint64_t hash) const
+{
+    return *shards_[hash % shards_.size()];
+}
+
+std::shared_ptr<const core::PipelineResult>
+ScheduleCache::lookup(const CacheKey& key)
+{
+    Shard& shard = shardFor(key.hash);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto bucket = shard.byHash.find(key.hash);
+    if (bucket != shard.byHash.end()) {
+        for (const auto entry_it : bucket->second) {
+            if (entry_it->key.loopText == key.loopText &&
+                entry_it->key.machineText == key.machineText &&
+                entry_it->key.optionsText == key.optionsText) {
+                ++shard.hits;
+                // Promote: splice to the front of the LRU list
+                // (iterators stay valid, byHash needs no update).
+                shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
+                return entry_it->result;
+            }
+            ++shard.hashCollisions;
+        }
+    }
+    ++shard.misses;
+    return nullptr;
+}
+
+std::shared_ptr<const core::PipelineResult>
+ScheduleCache::insert(const CacheKey& key, core::PipelineResult result)
+{
+    Shard& shard = shardFor(key.hash);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    // First writer wins: a racing duplicate insert returns the existing
+    // entry (deterministic pipeline => both results are identical).
+    const auto bucket = shard.byHash.find(key.hash);
+    if (bucket != shard.byHash.end()) {
+        for (const auto entry_it : bucket->second) {
+            if (entry_it->key.loopText == key.loopText &&
+                entry_it->key.machineText == key.machineText &&
+                entry_it->key.optionsText == key.optionsText)
+                return entry_it->result;
+        }
+    }
+
+    shard.lru.push_front(Entry{
+        key, std::make_shared<const core::PipelineResult>(
+                 std::move(result))});
+    shard.byHash[key.hash].push_back(shard.lru.begin());
+    ++shard.insertions;
+
+    while (shard.lru.size() > perShardCapacity_) {
+        const auto victim = std::prev(shard.lru.end());
+        auto& siblings = shard.byHash[victim->key.hash];
+        siblings.erase(
+            std::remove(siblings.begin(), siblings.end(), victim),
+            siblings.end());
+        if (siblings.empty())
+            shard.byHash.erase(victim->key.hash);
+        shard.lru.erase(victim);
+        ++shard.evictions;
+    }
+    return shard.lru.front().result;
+}
+
+CacheStats
+ScheduleCache::stats() const
+{
+    CacheStats stats;
+    for (const auto& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        stats.hits += shard->hits;
+        stats.misses += shard->misses;
+        stats.insertions += shard->insertions;
+        stats.evictions += shard->evictions;
+        stats.hashCollisions += shard->hashCollisions;
+        stats.entries += shard->lru.size();
+    }
+    return stats;
+}
+
+std::string
+ScheduleCache::saveText() const
+{
+    std::ostringstream out;
+    out << "ims-schedule-cache v1\n";
+    for (const auto& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        // Least recent first so a loader replaying in order leaves the
+        // most recently used entries freshest.
+        for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+            const CacheKey& key = it->key;
+            out << "entry " << key.loopText.size() << " "
+                << key.machineText.size() << " " << key.optionsText.size()
+                << "\n"
+                << key.loopText << key.machineText << key.optionsText;
+        }
+    }
+    return out.str();
+}
+
+std::vector<CacheKey>
+ScheduleCache::parseSaveText(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string header;
+    std::getline(in, header);
+    support::check(header == "ims-schedule-cache v1",
+                   "cache file: unknown header '" + header + "'");
+
+    std::vector<CacheKey> keys;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream entry(line);
+        std::string directive;
+        std::size_t loop_bytes = 0;
+        std::size_t machine_bytes = 0;
+        std::size_t options_bytes = 0;
+        entry >> directive >> loop_bytes >> machine_bytes >> options_bytes;
+        support::check(directive == "entry" && !entry.fail(),
+                       "cache file: malformed entry line '" + line + "'");
+        const auto read_block = [&in](std::size_t bytes) {
+            std::string block(bytes, '\0');
+            in.read(block.data(), static_cast<std::streamsize>(bytes));
+            support::check(in.gcount() ==
+                               static_cast<std::streamsize>(bytes),
+                           "cache file: truncated entry");
+            return block;
+        };
+        std::string loop_text = read_block(loop_bytes);
+        std::string machine_text = read_block(machine_bytes);
+        std::string options_text = read_block(options_bytes);
+        keys.push_back(CacheKey::make(std::move(loop_text),
+                                      std::move(machine_text),
+                                      std::move(options_text)));
+    }
+    return keys;
+}
+
+std::uint64_t
+fingerprintResult(const ir::Loop& loop,
+                  const machine::MachineModel& machine,
+                  const core::PipelineResult& result)
+{
+    support::Fnv1a digest;
+    digest.update(result.ok() ? "ok" : "failed");
+    for (const auto& diagnostic : result.diagnostics) {
+        digest.update(diagnostic.severity ==
+                              core::Diagnostic::Severity::kError
+                          ? "E"
+                          : "W");
+        digest.update(diagnostic.phase);
+        digest.update(diagnostic.message);
+        digest.update(diagnostic.code);
+    }
+
+    const auto& telemetry = result.telemetry;
+    digest.update(telemetry.loop);
+    digest.update(static_cast<std::uint64_t>(telemetry.ops));
+    digest.update(static_cast<std::uint64_t>(telemetry.resMii));
+    digest.update(static_cast<std::uint64_t>(telemetry.mii));
+    digest.update(static_cast<std::uint64_t>(telemetry.ii));
+    digest.update(static_cast<std::uint64_t>(telemetry.attempts));
+    digest.update(static_cast<std::uint64_t>(telemetry.scheduleLength));
+    digest.update(static_cast<std::uint64_t>(telemetry.budget));
+    digest.update(static_cast<std::uint64_t>(telemetry.stepsTotal));
+    digest.update(static_cast<std::uint64_t>(telemetry.backtracks));
+    digest.update(telemetry.scheduler);
+
+    if (result.ok()) {
+        const auto& artifacts = *result.artifacts;
+        const auto& schedule = artifacts.outcome.schedule;
+        digest.update(static_cast<std::uint64_t>(schedule.ii));
+        for (std::size_t v = 0; v < schedule.times.size(); ++v) {
+            digest.update(static_cast<std::uint64_t>(schedule.times[v]));
+            digest.update(
+                static_cast<std::uint64_t>(schedule.alternatives[v]));
+        }
+        digest.update(static_cast<std::uint64_t>(schedule.stepsUsed));
+        digest.update(static_cast<std::uint64_t>(schedule.unschedules));
+        digest.update(
+            static_cast<std::uint64_t>(artifacts.minScheduleLength));
+        // The rendered report covers kernel rows, MVE plan, register
+        // allocation and the baseline comparison in one deterministic
+        // text — any divergence in the downstream artifacts shows here.
+        digest.update(core::report(loop, machine, artifacts));
+    }
+    return digest.digest();
+}
+
+} // namespace ims::service

@@ -1,0 +1,57 @@
+#ifndef IMS_SUPPORT_HASH_HPP
+#define IMS_SUPPORT_HASH_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace ims::support {
+
+/** FNV-1a 64-bit offset basis / prime (the classic constants). */
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/**
+ * Incremental FNV-1a 64-bit hasher. Deterministic across platforms and
+ * runs (no pointer or seed salting), which is what content-addressed
+ * keys require: the same canonical text must map to the same key in
+ * every process, including across a cache save/restart/load cycle.
+ */
+class Fnv1a
+{
+  public:
+    Fnv1a&
+    update(std::string_view text)
+    {
+        for (const char c : text) {
+            hash_ ^= static_cast<unsigned char>(c);
+            hash_ *= kFnvPrime;
+        }
+        return *this;
+    }
+
+    Fnv1a&
+    update(std::uint64_t value)
+    {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash_ ^= (value >> (8 * byte)) & 0xffU;
+            hash_ *= kFnvPrime;
+        }
+        return *this;
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+/** One-shot FNV-1a of a string. */
+inline std::uint64_t
+fnv1a(std::string_view text)
+{
+    return Fnv1a().update(text).digest();
+}
+
+} // namespace ims::support
+
+#endif // IMS_SUPPORT_HASH_HPP

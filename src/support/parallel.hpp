@@ -10,18 +10,32 @@
 namespace ims::support {
 
 /**
- * Resolve a thread-count request: <= 0 means "use the hardware
- * concurrency", and the result is clamped to [1, work_items] so small
- * workloads never spawn idle threads.
+ * Resolve a worker-pool size with no per-batch bound: <= 0 means "use the
+ * hardware concurrency", and the result is always >= 1 —
+ * std::thread::hardware_concurrency() is allowed to return 0 ("not
+ * computable") and a zero-thread pool would never make progress. This is
+ * the single clamp shared by BatchPipeliner, the racing II search and the
+ * schedule service's persistent worker queue.
+ */
+inline int
+resolveWorkerThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    return std::max(1,
+                    static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+/**
+ * Resolve a thread-count request for a fixed batch: resolveWorkerThreads
+ * further clamped to [1, work_items] so small workloads never spawn idle
+ * threads.
  */
 inline int
 resolveThreads(int requested, std::size_t work_items)
 {
-    int threads = requested;
-    if (threads <= 0)
-        threads = static_cast<int>(std::thread::hardware_concurrency());
     const int max_useful = std::max(1, static_cast<int>(work_items));
-    return std::clamp(threads, 1, max_useful);
+    return std::min(resolveWorkerThreads(requested), max_useful);
 }
 
 /**

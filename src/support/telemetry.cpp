@@ -2,8 +2,11 @@
 
 #include <array>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <cstdio>
 #include <functional>
+#include <limits>
 
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -38,10 +41,20 @@ constexpr std::array<CounterField, 11> kCounterFields = {{
     {"mrt_slot_scans", &Counters::mrtSlotScans},
 }};
 
-/** Shortest representation that round-trips a double. */
+/**
+ * Round-trippable double for JSON. JSON has no NaN/Infinity literals, so
+ * non-finite values must never reach the printf path (%.17g would emit
+ * bare "nan"/"inf" and corrupt the document): NaN becomes null (an absent
+ * measurement) and infinities clamp to +/-DBL_MAX. parseNumber() maps
+ * null back to a quiet NaN, so emit/parse/emit is stable.
+ */
 std::string
 formatJsonDouble(double value)
 {
+    if (std::isnan(value))
+        return "null";
+    if (std::isinf(value))
+        value = std::copysign(std::numeric_limits<double>::max(), value);
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.17g", value);
     return buffer;
@@ -182,6 +195,11 @@ class JsonParser
     double
     parseNumber()
     {
+        // formatJsonDouble emits null for NaN; read it back as one.
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return std::numeric_limits<double>::quiet_NaN();
+        }
         const std::size_t start = pos_;
         if (peek() == '-')
             ++pos_;
@@ -192,7 +210,13 @@ class JsonParser
                 text_[pos_] == '-'))
             ++pos_;
         check(pos_ > start, "expected number");
-        return std::stod(text_.substr(start, pos_ - start));
+        // strtod, not std::stod: stod throws out_of_range on denormal
+        // values instead of returning the rounded result.
+        const std::string literal = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double value = std::strtod(literal.c_str(), &end);
+        check(end == literal.c_str() + literal.size(), "expected number");
+        return value;
     }
 
     bool

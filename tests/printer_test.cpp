@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "fuzz/machine_gen.hpp"
 #include "ir/loop_builder.hpp"
 #include "ir/parser.hpp"
@@ -78,6 +80,40 @@ TEST(PrinterRoundTrip, ImmediatePrecision)
                {builder.reg("x"), builder.imm(1e-30)});
     builder.closeLoop();
     expectRoundTrip(builder.build());
+}
+
+TEST(PrinterRoundTrip, ImmediateEdgeCases)
+{
+    // The service cache keys on printed bytes, so the printer must be
+    // byte-stable even for the IEEE-754 corner cases: negative zero
+    // keeps its sign, non-finite values print as parseable keywords,
+    // and denormals/extremes survive the round trip exactly.
+    ir::LoopBuilder builder("edge_immediates");
+    builder.op(ir::Opcode::kAdd, "a",
+               {builder.imm(-0.0), builder.imm(0.0)});
+    builder.op(ir::Opcode::kAdd, "b",
+               {builder.imm(std::numeric_limits<double>::quiet_NaN()),
+                builder.imm(std::numeric_limits<double>::infinity())});
+    builder.op(ir::Opcode::kAdd, "c",
+               {builder.imm(-std::numeric_limits<double>::infinity()),
+                builder.imm(std::numeric_limits<double>::denorm_min())});
+    builder.op(ir::Opcode::kMul, "d",
+               {builder.imm(std::numeric_limits<double>::max()),
+                builder.imm(-4.9406564584124654e-316)});
+    builder.closeLoop();
+    const ir::Loop loop = builder.build();
+
+    const std::string text = ir::printLoop(loop);
+    const ir::Loop reparsed = ir::parseLoop(text);
+    EXPECT_EQ(text, ir::printLoop(reparsed));
+
+    // -0.0 must not collapse to 0.0 (memcmp-distinct => key-distinct).
+    EXPECT_NE(text.find("#-0"), std::string::npos) << text;
+    // Non-finite immediates use the parser's keywords, never printf's
+    // locale-dependent spellings.
+    EXPECT_NE(text.find("#nan"), std::string::npos) << text;
+    EXPECT_NE(text.find("#inf"), std::string::npos) << text;
+    EXPECT_NE(text.find("#-inf"), std::string::npos) << text;
 }
 
 void

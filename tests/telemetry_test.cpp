@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/pipeliner.hpp"
@@ -139,6 +141,32 @@ TEST(TelemetryTest, JsonRoundTripPreservesCountersAndSummary)
         EXPECT_EQ(reparsed.phases[i].succeeded,
                   original.phases[i].succeeded);
     }
+}
+
+TEST(TelemetryTest, NonFiniteDoublesProduceValidJson)
+{
+    // A crashed phase timer or a degenerate summary must never leak a
+    // bare `nan`/`inf` token into the JSON stream (neither is a JSON
+    // literal): NaN becomes null, infinities clamp to the largest
+    // finite double of the same sign, and the result stays parseable.
+    auto result = pipelineKernel("daxpy");
+    ASSERT_TRUE(result.ok());
+    auto telemetry = result.telemetry;
+    telemetry.wallSeconds = std::numeric_limits<double>::quiet_NaN();
+    ASSERT_FALSE(telemetry.phases.empty());
+    telemetry.phases[0].seconds = std::numeric_limits<double>::infinity();
+
+    const std::string json = telemetry.toJson();
+    // Bare non-finite tokens appear right after a ':' separator; field
+    // names like "...proven_infeasible" legitimately contain "inf".
+    EXPECT_EQ(json.find(":nan"), std::string::npos) << json;
+    EXPECT_EQ(json.find(":inf"), std::string::npos) << json;
+    EXPECT_EQ(json.find(":-inf"), std::string::npos) << json;
+
+    const auto reparsed = support::parseTelemetryJson(json);
+    EXPECT_TRUE(std::isnan(reparsed.wallSeconds));
+    EXPECT_EQ(reparsed.phases[0].seconds,
+              std::numeric_limits<double>::max());
 }
 
 TEST(TelemetryTest, ParserRejectsMalformedInput)
