@@ -21,7 +21,12 @@
  * Usage:
  *   bench_sched_hotpath [--golden PATH] [--write-golden PATH]
  *                       [--out PATH] [--baseline PATH]
- *                       [--threads a,b,c] [--quick]
+ *                       [--threads a,b,c] [--quick] [--scaling-gate]
+ *
+ * --scaling-gate additionally fails the run when the BatchPipeliner does
+ * not reach 3x loops/second at 8 threads over 1 thread — enforced only
+ * when the host reports >= 8 hardware threads (the JSON records
+ * `gate_enforced` so CI logs show whether the gate was live).
  */
 #include <chrono>
 #include <cstdint>
@@ -32,6 +37,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_pipeliner.hpp"
@@ -306,6 +312,10 @@ struct BatchSample
     std::string name;
     int loops = 0;
     int threads = 0;
+    /** Whole-batch repetitions the calibration loop accumulated. */
+    int runs = 0;
+    /** Work-stealing migrations summed over the runs (observability). */
+    std::uint64_t workSteals = 0;
     double wallSeconds = 0.0;
     double loopsPerSecond = 0.0;
 };
@@ -413,8 +423,9 @@ main(int argc, char** argv)
     std::string write_golden_path;
     std::string out_path = "BENCH_sched_hotpath.json";
     std::string baseline_path;
-    std::vector<int> thread_counts = {1, 2, 4};
+    std::vector<int> thread_counts = {1, 2, 4, 8};
     bool quick = false;
+    bool scaling_gate = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
             golden_path = argv[++i];
@@ -428,10 +439,13 @@ main(int argc, char** argv)
             thread_counts = parseThreadList(argv[++i]);
         else if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strcmp(argv[i], "--scaling-gate") == 0)
+            scaling_gate = true;
         else {
             std::cerr << "usage: bench_sched_hotpath [--golden PATH] "
                          "[--write-golden PATH] [--out PATH] "
-                         "[--baseline PATH] [--threads a,b,c] [--quick]\n";
+                         "[--baseline PATH] [--threads a,b,c] [--quick] "
+                         "[--scaling-gate]\n";
             return 2;
         }
     }
@@ -513,34 +527,72 @@ main(int argc, char** argv)
                 transform::unrollLoop(base.loop, spec.second));
     }
 
+    // Self-calibrating measurement: the mixed batch alone takes ~50 ms,
+    // well inside scheduler-jitter territory, so each thread count
+    // repeats the whole batch until a minimum wall time has accumulated
+    // and reports the aggregate rate.
+    const double min_batch_wall = quick ? 0.05 : 0.75;
     support::TextTable batch_table("BatchPipeliner throughput");
-    batch_table.addHeader({"loops", "threads", "wall s", "loops/s"});
+    batch_table.addHeader(
+        {"loops", "threads", "runs", "steals", "wall s", "loops/s"});
     std::vector<BatchSample> batch_samples;
     for (const int threads : thread_counts) {
         core::BatchPipeliner batch(
             machine, core::BatchOptions{}.withThreads(threads));
-        const auto start = Clock::now();
-        const auto result = batch.run(batch_loops);
         BatchSample sample;
         sample.name = "batch_t" + std::to_string(threads);
         sample.loops = static_cast<int>(batch_loops.size());
         sample.threads = threads;
-        sample.wallSeconds = secondsSince(start);
-        sample.loopsPerSecond = static_cast<double>(sample.loops) /
-                                std::max(sample.wallSeconds, 1e-12);
-        if (result.failures() != 0) {
-            std::cerr << "batch sweep: " << result.failures()
-                      << " loops failed to pipeline\n";
-            return 1;
-        }
+        const auto start = Clock::now();
+        do {
+            const auto result = batch.run(batch_loops);
+            if (result.failures() != 0) {
+                std::cerr << "batch sweep: " << result.failures()
+                          << " loops failed to pipeline\n";
+                return 1;
+            }
+            ++sample.runs;
+            sample.workSteals += result.workSteals;
+            sample.wallSeconds = secondsSince(start);
+        } while (sample.wallSeconds < min_batch_wall);
+        sample.loopsPerSecond =
+            static_cast<double>(sample.loops) * sample.runs /
+            std::max(sample.wallSeconds, 1e-12);
         batch_table.addRow({std::to_string(sample.loops),
                             std::to_string(sample.threads),
+                            std::to_string(sample.runs),
+                            std::to_string(sample.workSteals),
                             support::formatDouble(sample.wallSeconds, 3),
                             support::formatDouble(sample.loopsPerSecond,
                                                   1)});
         batch_samples.push_back(std::move(sample));
     }
     batch_table.print(std::cout);
+
+    // Conditional scaling gate: on real many-core hardware the stealing
+    // batch driver must deliver >= 3x at 8 threads over 1; on smaller
+    // machines (CI containers pinned to a core or two) the numbers are
+    // still recorded but cannot gate.
+    const unsigned hardware_threads = std::thread::hardware_concurrency();
+    double batch_t1_rate = 0.0;
+    double batch_t8_rate = 0.0;
+    for (const auto& s : batch_samples) {
+        if (s.threads == 1)
+            batch_t1_rate = s.loopsPerSecond;
+        if (s.threads == 8)
+            batch_t8_rate = s.loopsPerSecond;
+    }
+    const double batch_scaling =
+        batch_t1_rate > 0.0 ? batch_t8_rate / batch_t1_rate : 0.0;
+    const bool gate_enforced = scaling_gate && hardware_threads >= 8 &&
+                               batch_t1_rate > 0.0 && batch_t8_rate > 0.0;
+    if (batch_t1_rate > 0.0 && batch_t8_rate > 0.0) {
+        std::cout << "batch scaling t8/t1: "
+                  << support::formatDouble(batch_scaling, 2) << "x ("
+                  << hardware_threads << " hardware threads, gate "
+                  << (gate_enforced ? "enforced" : "not enforced")
+                  << ")\n";
+    }
     std::cout << "\n";
 
     // --- MRT probe kernels ---------------------------------------------
@@ -565,6 +617,10 @@ main(int argc, char** argv)
         std::ofstream out(out_path);
         out << "{\n  \"schema\": \"ims.bench_sched_hotpath.v1\",\n"
             << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+            << "  \"hardware_concurrency\": " << hardware_threads << ",\n"
+            << "  \"batch_scaling_t8_over_t1\": " << batch_scaling << ",\n"
+            << "  \"gate_enforced\": " << (gate_enforced ? "true" : "false")
+            << ",\n"
             << "  \"sched\": [\n";
         for (std::size_t i = 0; i < sched_samples.size(); ++i) {
             const auto& s = sched_samples[i];
@@ -581,7 +637,8 @@ main(int argc, char** argv)
             const auto& s = batch_samples[i];
             out << "    {\"name\": \"" << s.name << "\", \"loops\": "
                 << s.loops << ", \"threads\": " << s.threads
-                << ", \"wall_seconds\": " << s.wallSeconds
+                << ", \"runs\": " << s.runs << ", \"work_steals\": "
+                << s.workSteals << ", \"wall_seconds\": " << s.wallSeconds
                 << ", \"loops_per_second\": " << s.loopsPerSecond << "}"
                 << (i + 1 < batch_samples.size() ? "," : "") << "\n";
         }
@@ -652,6 +709,14 @@ main(int argc, char** argv)
         std::cout << "baseline check passed (tolerance "
                   << support::formatDouble(100.0 * (1.0 - tolerance), 0)
                   << "%)\n";
+    }
+
+    if (gate_enforced && batch_scaling < 3.0) {
+        std::cerr << "batch scaling gate failed: t8/t1 = "
+                  << support::formatDouble(batch_scaling, 2)
+                  << "x < 3.0x with " << hardware_threads
+                  << " hardware threads\n";
+        return 1;
     }
     return 0;
 }

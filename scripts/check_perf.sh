@@ -4,7 +4,11 @@
 #  1. bench_sched_hotpath — verify schedule identity against the
 #     checked-in seed golden, and fail if any throughput metric regresses
 #     by more than 10% against the checked-in baseline
-#     (BENCH_sched_hotpath.json at the repo root).
+#     (BENCH_sched_hotpath.json at the repo root). --scaling-gate also
+#     requires the work-stealing BatchPipeliner to reach >=3x loops/s at
+#     8 threads over 1 thread — enforced only when the host reports >= 8
+#     hardware threads; smaller machines record the ratio with
+#     "gate_enforced": false in the JSON.
 #  2. bench_ii_search — racing-vs-linear II search on hard-II workloads:
 #     bit-identity of racing results is always enforced; the >=1.5x
 #     geomean speedup floor at 8 threads is enforced only when the host
@@ -39,10 +43,11 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_sched_hotpath bench_ii_search \
     bench_service
 
-echo "== bench_sched_hotpath (identity + >10% regression gate) =="
+echo "== bench_sched_hotpath (identity + >10% regression + scaling gate) =="
 "$BUILD_DIR/bench/bench_sched_hotpath" \
     --golden bench/data/sched_identity_seed.json \
     --baseline "$BASELINE" \
+    --scaling-gate \
     --out "$BUILD_DIR/BENCH_sched_hotpath.json"
 
 echo "== bench_ii_search (racing identity + hardware-gated speedup) =="

@@ -21,6 +21,14 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# Schedule-identity check + quick hot-path smoke on the default build.
+# Unlike the Release-mode perf gate (stage 3, skippable on loaded
+# machines), identity is timing-independent and always runs: every
+# corpus kernel must still produce the bit-identical seed schedule.
+build/bench/bench_sched_hotpath --quick \
+    --golden bench/data/sched_identity_seed.json \
+    --out build/BENCH_sched_hotpath_quick.json
+
 if [ "${IMS_CI_SKIP_TSAN:-0}" != "1" ]; then
     echo "==== stage 2/5: ThreadSanitizer ===="
     scripts/check_tsan.sh

@@ -2,6 +2,7 @@
 #define IMS_CORE_BATCH_PIPELINER_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,12 @@ struct BatchResult
     double wallSeconds = 0.0;
     /** Worker threads actually used. */
     int threadsUsed = 1;
+    /**
+     * Work-stealing migrations between workers (timing-dependent, zero on
+     * single-threaded runs; see support::workStealingFor). Observability
+     * only — never part of the deterministic result.
+     */
+    std::uint64_t workSteals = 0;
 
     std::size_t successes() const;
     std::size_t failures() const;
@@ -74,7 +81,11 @@ struct BatchResult
  * is embarrassingly parallel; per-loop failures are isolated as
  * diagnostics on the corresponding item (one malformed loop cannot take
  * down the batch), and result ordering is deterministic regardless of
- * thread count or completion order.
+ * thread count or completion order. Work is distributed by
+ * support::workStealingFor: each worker owns a contiguous slice of the
+ * request range and idle workers steal half of a busy worker's
+ * remainder, so one pathologically slow loop cannot serialise the tail
+ * of the batch the way static slot assignment did.
  */
 class BatchPipeliner
 {

@@ -24,9 +24,27 @@ depKindName(DepKind kind)
 }
 
 DepGraph::DepGraph(int num_ops)
-    : numOps_(num_ops), out_(num_ops + 2), in_(num_ops + 2)
+    : numOps_(num_ops), adj_(std::make_unique<Adjacency>())
 {
     assert(num_ops >= 0);
+}
+
+DepGraph::DepGraph(const DepGraph& other)
+    : numOps_(other.numOps_),
+      edges_(other.edges_),
+      adj_(std::make_unique<Adjacency>())
+{
+}
+
+DepGraph&
+DepGraph::operator=(const DepGraph& other)
+{
+    if (this != &other) {
+        numOps_ = other.numOps_;
+        edges_ = other.edges_;
+        adj_ = std::make_unique<Adjacency>();
+    }
+    return *this;
 }
 
 EdgeId
@@ -36,10 +54,55 @@ DepGraph::addEdge(DepEdge edge)
     assert(edge.to >= 0 && edge.to < numVertices());
     assert(edge.distance >= 0);
     const EdgeId id = static_cast<EdgeId>(edges_.size());
-    out_[edge.from].push_back(id);
-    in_[edge.to].push_back(id);
     edges_.push_back(edge);
+    // Construction is single-threaded (see addEdge's contract), so a
+    // plain store is enough to force a CSR rebuild on the next query.
+    adj_->built.store(false, std::memory_order_relaxed);
     return id;
+}
+
+void
+DepGraph::buildAdjacency() const
+{
+    Adjacency& adj = *adj_;
+    std::lock_guard<std::mutex> lock(adj.buildMutex);
+    if (adj.built.load(std::memory_order_relaxed))
+        return;
+
+    const int vertices = numVertices();
+    const std::size_t num_edges = edges_.size();
+    adj.outOffsets.assign(static_cast<std::size_t>(vertices) + 1, 0);
+    adj.inOffsets.assign(static_cast<std::size_t>(vertices) + 1, 0);
+    for (const DepEdge& edge : edges_) {
+        ++adj.outOffsets[edge.from + 1];
+        ++adj.inOffsets[edge.to + 1];
+    }
+    for (int v = 0; v < vertices; ++v) {
+        adj.outOffsets[v + 1] += adj.outOffsets[v];
+        adj.inOffsets[v + 1] += adj.inOffsets[v];
+    }
+
+    adj.outIds.resize(num_edges);
+    adj.inIds.resize(num_edges);
+    adj.outDeps.resize(num_edges);
+    adj.inDeps.resize(num_edges);
+    // Filling in edge-id order keeps each vertex's slice in insertion
+    // order — the same order the per-vertex push_back lists used to have,
+    // which the schedulers' tie-breaks depend on.
+    std::vector<std::int32_t> out_cursor(adj.outOffsets.begin(),
+                                         adj.outOffsets.end() - 1);
+    std::vector<std::int32_t> in_cursor(adj.inOffsets.begin(),
+                                        adj.inOffsets.end() - 1);
+    for (std::size_t id = 0; id < num_edges; ++id) {
+        const DepEdge& edge = edges_[id];
+        const std::int32_t out_at = out_cursor[edge.from]++;
+        const std::int32_t in_at = in_cursor[edge.to]++;
+        adj.outIds[out_at] = static_cast<EdgeId>(id);
+        adj.inIds[in_at] = static_cast<EdgeId>(id);
+        adj.outDeps[out_at] = Dep{edge.to, edge.delay, edge.distance};
+        adj.inDeps[in_at] = Dep{edge.from, edge.delay, edge.distance};
+    }
+    adj.built.store(true, std::memory_order_release);
 }
 
 int

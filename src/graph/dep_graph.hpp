@@ -1,6 +1,11 @@
 #ifndef IMS_GRAPH_DEP_GRAPH_HPP
 #define IMS_GRAPH_DEP_GRAPH_HPP
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,18 +55,47 @@ struct DepEdge
 };
 
 /**
+ * Compact adjacency record for the scheduler hot paths: the neighbor
+ * plus the two edge fields the scheduling constraint needs, packed into
+ * 12 bytes so one cache line holds five deps. For an out-dep `other` is
+ * the edge's head, for an in-dep its tail.
+ */
+struct Dep
+{
+    VertexId other = 0;
+    std::int32_t delay = 0;
+    std::int32_t distance = 0;
+};
+
+/**
  * The dependence graph for a loop body, including the START and STOP
  * pseudo-operations that §3.1 adds ("START and STOP are made to be the
  * predecessor and successor, respectively, of all the other operations").
  *
  * Vertices 0..numOps-1 correspond to loop operations by id; vertex
  * `start()` is START and `stop()` is STOP.
+ *
+ * Adjacency is stored in CSR (compressed sparse row) form: one flat
+ * edge-id array per direction plus per-vertex offsets, and a parallel
+ * flat array of `Dep` records so the schedulers' inner loops walk
+ * contiguous 12-byte entries instead of chasing per-vertex vectors into
+ * the edge table. The CSR buffers are built lazily on first query and
+ * invalidated by addEdge; the build is guarded by double-checked locking
+ * so concurrent readers (the racing II search) are safe, while graph
+ * *construction* remains single-threaded as before.
  */
 class DepGraph
 {
   public:
     /** Create a graph over `num_ops` real operations (plus START/STOP). */
     explicit DepGraph(int num_ops);
+
+    DepGraph(DepGraph&&) noexcept = default;
+    DepGraph& operator=(DepGraph&&) noexcept = default;
+    /** Copies duplicate the edge list only; the CSR view is a cache and
+        the copy rebuilds its own on first query. */
+    DepGraph(const DepGraph& other);
+    DepGraph& operator=(const DepGraph& other);
 
     int numOps() const { return numOps_; }
     int numVertices() const { return numOps_ + 2; }
@@ -74,18 +108,51 @@ class DepGraph
         return v >= numOps_;
     }
 
-    /** Append an edge; returns its id. */
+    /** Append an edge; returns its id. Not safe against concurrent
+        queries — build the graph before sharing it across workers. */
     EdgeId addEdge(DepEdge edge);
 
     const std::vector<DepEdge>& edges() const { return edges_; }
     const DepEdge& edge(EdgeId id) const { return edges_[id]; }
     int numEdges() const { return static_cast<int>(edges_.size()); }
 
-    /** Ids of edges leaving `v`. */
-    const std::vector<EdgeId>& outEdges(VertexId v) const { return out_[v]; }
+    /** Ids of edges leaving `v`, in insertion order. */
+    std::span<const EdgeId>
+    outEdges(VertexId v) const
+    {
+        const Adjacency& adj = adjacency();
+        return {adj.outIds.data() + adj.outOffsets[v],
+                adj.outIds.data() + adj.outOffsets[v + 1]};
+    }
 
-    /** Ids of edges entering `v`. */
-    const std::vector<EdgeId>& inEdges(VertexId v) const { return in_[v]; }
+    /** Ids of edges entering `v`, in insertion order. */
+    std::span<const EdgeId>
+    inEdges(VertexId v) const
+    {
+        const Adjacency& adj = adjacency();
+        return {adj.inIds.data() + adj.inOffsets[v],
+                adj.inIds.data() + adj.inOffsets[v + 1]};
+    }
+
+    /** Compact records of the edges leaving `v`, aligned with outEdges:
+        outDeps(v)[i].other == edge(outEdges(v)[i]).to. */
+    std::span<const Dep>
+    outDeps(VertexId v) const
+    {
+        const Adjacency& adj = adjacency();
+        return {adj.outDeps.data() + adj.outOffsets[v],
+                adj.outDeps.data() + adj.outOffsets[v + 1]};
+    }
+
+    /** Compact records of the edges entering `v`, aligned with inEdges:
+        inDeps(v)[i].other == edge(inEdges(v)[i]).from. */
+    std::span<const Dep>
+    inDeps(VertexId v) const
+    {
+        const Adjacency& adj = adjacency();
+        return {adj.inDeps.data() + adj.inOffsets[v],
+                adj.inDeps.data() + adj.inOffsets[v + 1]};
+    }
 
     /**
      * Number of non-pseudo edges (the paper's E in the complexity study,
@@ -97,10 +164,39 @@ class DepGraph
     std::string toString() const;
 
   private:
+    /**
+     * The lazily-built CSR view. Offsets have numVertices()+1 entries;
+     * vertex v's slice of the flat arrays is [offsets[v], offsets[v+1]).
+     * Held behind a unique_ptr so the graph stays movable (the struct
+     * carries a mutex) and so a build never reallocates buffers another
+     * thread may be reading: buffers are only written under the mutex
+     * *before* `built` is published with release ordering.
+     */
+    struct Adjacency
+    {
+        std::atomic<bool> built{false};
+        std::mutex buildMutex;
+        std::vector<std::int32_t> outOffsets;
+        std::vector<std::int32_t> inOffsets;
+        std::vector<EdgeId> outIds;
+        std::vector<EdgeId> inIds;
+        std::vector<Dep> outDeps;
+        std::vector<Dep> inDeps;
+    };
+
+    const Adjacency&
+    adjacency() const
+    {
+        if (!adj_->built.load(std::memory_order_acquire))
+            buildAdjacency();
+        return *adj_;
+    }
+
+    void buildAdjacency() const;
+
     int numOps_;
     std::vector<DepEdge> edges_;
-    std::vector<std::vector<EdgeId>> out_;
-    std::vector<std::vector<EdgeId>> in_;
+    mutable std::unique_ptr<Adjacency> adj_;
 };
 
 } // namespace ims::graph

@@ -1,6 +1,7 @@
 #include "mii/rec_mii.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 #include "graph/circuits.hpp"
@@ -33,25 +34,101 @@ candidateCap(const graph::DepGraph& graph,
 }
 
 /**
- * Smallest II >= `start` for which the subset's MinDist diagonal is
- * non-positive, using the paper's protocol: advance by a doubling
- * increment until feasible, then binary-search between the last
- * unsuccessful and first successful candidates.
+ * Feasibility oracle for one vertex subset: II is feasible iff the
+ * subset has no circuit with Delay(c) - II * Distance(c) > 0, i.e. no
+ * positive-weight cycle under edge weights delay - II * distance. That
+ * is exactly the condition "the MinDist diagonal is non-positive" the
+ * O(s^3) ComputeMinDist closure used to decide per probe; Bellman-Ford
+ * positive-cycle detection answers it in O(s * e) without materialising
+ * the matrix, and as a pure decision it cannot disagree with the
+ * closure, so the RecMII search returns the same II.
+ *
+ * The probe charges the same counters as the closure it replaces —
+ * min_dist_invocations per feasibility question, min_dist_inner_steps
+ * per edge relaxation examined — so those fields keep meaning "RecMII
+ * feasibility work", just with the cheaper inner loop.
+ */
+class FeasibilityProbe
+{
+  public:
+    FeasibilityProbe(const graph::DepGraph& graph,
+                     const std::vector<graph::VertexId>& vertices)
+        : numVertices_(static_cast<int>(vertices.size())),
+          potential_(vertices.size(), 0)
+    {
+        std::vector<std::int32_t> index(graph.numVertices(), -1);
+        for (std::size_t i = 0; i < vertices.size(); ++i)
+            index[vertices[i]] = static_cast<std::int32_t>(i);
+        for (const auto& edge : graph.edges()) {
+            if (index[edge.from] >= 0 && index[edge.to] >= 0) {
+                edges_.push_back({index[edge.from], index[edge.to],
+                                  edge.delay, edge.distance});
+            }
+        }
+    }
+
+    /** True when the subset has no positive-weight cycle at this II. */
+    bool
+    feasible(int ii, support::Counters* counters)
+    {
+        support::bump(counters, &support::Counters::minDistInvocations);
+        // From an all-zero start, after k relaxation passes
+        // potential_[v] is the maximum weight of any walk of at most k
+        // edges ending at v. Without a positive cycle that maximum is
+        // attained by a simple path (<= s-1 edges), so some pass among
+        // the first s changes nothing and the relaxation has converged;
+        // with one, every pass keeps improving. Hence: a quiescent pass
+        // proves feasibility, s consecutive changing passes prove a
+        // positive cycle.
+        std::fill(potential_.begin(), potential_.end(), 0);
+        std::uint64_t relaxations = 0;
+        bool changed = true;
+        for (int pass = 0; pass < numVertices_ && changed; ++pass) {
+            changed = false;
+            for (const Edge& edge : edges_) {
+                ++relaxations;
+                const std::int64_t weight =
+                    edge.delay -
+                    static_cast<std::int64_t>(ii) * edge.distance;
+                const std::int64_t bound = potential_[edge.from] + weight;
+                if (bound > potential_[edge.to]) {
+                    potential_[edge.to] = bound;
+                    changed = true;
+                }
+            }
+        }
+        support::bump(counters, &support::Counters::minDistInnerSteps,
+                      relaxations);
+        return !changed;
+    }
+
+  private:
+    struct Edge
+    {
+        std::int32_t from;
+        std::int32_t to;
+        std::int32_t delay;
+        std::int32_t distance;
+    };
+
+    int numVertices_;
+    std::vector<Edge> edges_;
+    std::vector<std::int64_t> potential_;
+};
+
+/**
+ * Smallest II >= `start` for which the subset becomes feasible, using
+ * the paper's protocol: advance by a doubling increment until feasible,
+ * then binary-search between the last unsuccessful and first successful
+ * candidates.
  */
 int
 searchFeasibleIi(const graph::DepGraph& graph,
                  const std::vector<graph::VertexId>& vertices, int start,
                  support::Counters* counters)
 {
-    // One matrix serves the whole doubling + binary search: every new
-    // candidate II recomputes into the same buffer instead of rebuilding
-    // the subset index and reallocating O(N^2) storage per probe.
-    MinDistMatrix dist(graph, vertices, start, counters);
-    auto feasible = [&](int ii) {
-        if (dist.ii() != ii)
-            dist.recompute(ii, counters);
-        return dist.feasible();
-    };
+    FeasibilityProbe probe(graph, vertices);
+    auto feasible = [&](int ii) { return probe.feasible(ii, counters); };
 
     const int cap = static_cast<int>(
         std::min<std::int64_t>(candidateCap(graph, vertices), INT32_MAX / 2));
@@ -93,14 +170,14 @@ computeRecMiiPerScc(const graph::DepGraph& graph,
     int candidate = std::max(1, start_candidate);
     for (const auto& component : sccs.components()) {
         // Pseudo vertices and singletons without a reflexive edge cannot
-        // constrain the II; skip them without invoking ComputeMinDist.
+        // constrain the II; skip them without invoking the probe.
         if (component.size() == 1) {
             const graph::VertexId v = component.front();
             if (graph.isPseudo(v))
                 continue;
             bool has_self_edge = false;
-            for (graph::EdgeId eid : graph.outEdges(v))
-                has_self_edge |= graph.edge(eid).to == v;
+            for (const graph::Dep& dep : graph.outDeps(v))
+                has_self_edge |= dep.other == v;
             if (!has_self_edge)
                 continue;
         }

@@ -14,40 +14,65 @@ computeResMii(const ir::Loop& loop, const machine::MachineModel& machine,
     result.usage.assign(machine.numResources(), 0);
     result.chosenAlternative.assign(loop.size(), 0);
 
-    // Sort operations by increasing number of alternatives. The paper uses
-    // a radix sort for O(N); alternative counts are tiny, so a counting
-    // sort over [1, maxAlts] keeps the same bound.
+    // Sort operations by increasing number of alternatives. The paper
+    // uses a radix sort for O(N); alternative counts are tiny, so a
+    // counting sort over [0, maxAlts] gives the same bound — and the
+    // same stable order the previous stable_sort produced, which the
+    // greedy packing's results depend on.
+    std::vector<int> alt_count(loop.size());
+    int max_alts = 0;
+    for (ir::OpId id = 0; id < loop.size(); ++id) {
+        alt_count[id] = machine.numAlternatives(loop.operation(id).opcode);
+        max_alts = std::max(max_alts, alt_count[id]);
+    }
+    std::vector<int> offsets(static_cast<std::size_t>(max_alts) + 2, 0);
+    for (ir::OpId id = 0; id < loop.size(); ++id)
+        ++offsets[alt_count[id] + 1];
+    for (std::size_t k = 1; k < offsets.size(); ++k)
+        offsets[k] += offsets[k - 1];
     std::vector<ir::OpId> order(loop.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](ir::OpId a, ir::OpId b) {
-                         return machine.numAlternatives(
-                                    loop.operation(a).opcode) <
-                                machine.numAlternatives(
-                                    loop.operation(b).opcode);
-                     });
+    for (ir::OpId id = 0; id < loop.size(); ++id)
+        order[offsets[alt_count[id]]++] = id;
 
+    // Greedy packing with an incrementally maintained peak: instead of
+    // copying the whole usage vector per alternative and scanning it for
+    // its max, track the running max of `usage` and compute each
+    // alternative's would-be peak from only the resources it touches.
+    // max(usage + delta) = max(max(usage), max over touched r of
+    // usage[r] + delta[r]) because delta is zero elsewhere — identical
+    // to the full-vector scan, so chosen alternatives and ResMII don't
+    // change.
+    int current_max = 0;
+    std::vector<int> delta(machine.numResources(), 0);
+    std::vector<machine::ResourceId> touched;
     for (ir::OpId id : order) {
         const auto& info = machine.info(loop.operation(id).opcode);
         int best_alt = 0;
         int best_peak = -1;
         for (std::size_t alt = 0; alt < info.alternatives.size(); ++alt) {
-            // Peak usage if this alternative were chosen.
-            std::vector<int> trial = result.usage;
+            touched.clear();
             for (const auto& use : info.alternatives[alt].table.uses()) {
-                ++trial[use.resource];
+                if (delta[use.resource] == 0)
+                    touched.push_back(use.resource);
+                ++delta[use.resource];
                 support::bump(counters,
                               &support::Counters::resMiiInspections);
             }
-            const int peak = *std::max_element(trial.begin(), trial.end());
+            int peak = current_max;
+            for (machine::ResourceId r : touched) {
+                peak = std::max(peak, result.usage[r] + delta[r]);
+                delta[r] = 0;
+            }
             if (best_peak < 0 || peak < best_peak) {
                 best_peak = peak;
                 best_alt = static_cast<int>(alt);
             }
         }
         result.chosenAlternative[id] = best_alt;
-        for (const auto& use : info.alternatives[best_alt].table.uses())
-            ++result.usage[use.resource];
+        for (const auto& use : info.alternatives[best_alt].table.uses()) {
+            const int usage = ++result.usage[use.resource];
+            current_max = std::max(current_max, usage);
+        }
     }
 
     const auto max_it =

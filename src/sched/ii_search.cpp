@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "support/error.hpp"
@@ -52,7 +53,54 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
         IiAttemptOutcome outcome;
         std::exception_ptr error;
     };
-    std::vector<Slot> slots(candidates);
+
+    /**
+     * Chunked, lazily allocated slot store. The candidate range is
+     * maxIiIncrease+1 wide (4097 by default) but a search normally
+     * touches only [minIi, winner] — a handful of slots — so
+     * value-initialising a flat vector of ~200-byte Slots burned tens of
+     * microseconds per schedule() call on zeroing memory nobody reads.
+     * Chunks materialise on first touch behind a double-checked atomic
+     * pointer (publish with release, read with acquire), so concurrent
+     * workers may allocate distinct chunks race-free while untouched
+     * chunks stay null; a null chunk at assembly time means "no attempt
+     * in this range started".
+     */
+    constexpr int kSlotChunk = 16;
+    const int num_chunks = (candidates + kSlotChunk - 1) / kSlotChunk;
+    struct SlotStore
+    {
+        explicit SlotStore(int num_chunks) : chunks(num_chunks) {}
+        ~SlotStore()
+        {
+            for (auto& chunk : chunks)
+                delete[] chunk.load(std::memory_order_relaxed);
+        }
+        std::vector<std::atomic<Slot*>> chunks;
+        std::mutex allocMutex;
+    };
+    SlotStore store(num_chunks);
+    const auto slot_at = [&](int index) -> Slot& {
+        auto& entry = store.chunks[index / kSlotChunk];
+        Slot* chunk = entry.load(std::memory_order_acquire);
+        if (chunk == nullptr) {
+            std::lock_guard<std::mutex> lock(store.allocMutex);
+            chunk = entry.load(std::memory_order_relaxed);
+            if (chunk == nullptr) {
+                chunk = new Slot[kSlotChunk];
+                entry.store(chunk, std::memory_order_release);
+            }
+        }
+        return chunk[index % kSlotChunk];
+    };
+    /** The slot for `index`, or nullptr when its chunk was never touched
+        (single-threaded assembly use only). */
+    const auto peek_slot = [&](int index) -> Slot* {
+        Slot* chunk = store.chunks[index / kSlotChunk].load(
+            std::memory_order_acquire);
+        return chunk == nullptr ? nullptr : chunk + index % kSlotChunk;
+    };
+
     support::CancellationToken token;
     std::atomic<int> cursor{min_ii};
 
@@ -65,7 +113,7 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
             // too: return instead of spinning through the tail.
             if (ii > max_ii || token.cancelled(ii))
                 return;
-            Slot& slot = slots[ii - min_ii];
+            Slot& slot = slot_at(ii - min_ii);
             slot.started = true;
             const auto attempt_start = std::chrono::steady_clock::now();
             try {
@@ -109,9 +157,14 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
     // are discarded with the rest of the speculation.
     int winner = -1;
     for (int i = 0; i < candidates; ++i) {
-        if (slots[i].error != nullptr)
-            std::rethrow_exception(slots[i].error);
-        if (slots[i].outcome.schedule.has_value()) {
+        Slot* slot = peek_slot(i);
+        if (slot == nullptr) {
+            i += kSlotChunk - 1 - i % kSlotChunk; // skip untouched chunk
+            continue;
+        }
+        if (slot->error != nullptr)
+            std::rethrow_exception(slot->error);
+        if (slot->outcome.schedule.has_value()) {
             winner = i;
             break;
         }
@@ -121,28 +174,38 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
     result.searchedIis = prefix;
     result.records.reserve(static_cast<std::size_t>(prefix));
     for (int i = 0; i < prefix; ++i) {
-        Slot& slot = slots[i];
         // Deterministic-prefix invariant (see the engine comment): every
-        // prefix attempt ran to completion, uncancelled.
-        assert(slot.started &&
-               slot.outcome.status != AttemptStatus::kCancelled);
-        result.counters += slot.outcome.counters;
-        if (slot.outcome.status == AttemptStatus::kInfeasible)
+        // prefix attempt was claimed and ran to completion, uncancelled,
+        // so its chunk exists; the null/unstarted skips are defensive.
+        Slot* slot = peek_slot(i);
+        if (slot == nullptr) {
+            i += kSlotChunk - 1 - i % kSlotChunk;
+            continue;
+        }
+        if (!slot->started)
+            continue;
+        assert(slot->outcome.status != AttemptStatus::kCancelled);
+        result.counters += slot->outcome.counters;
+        if (slot->outcome.status == AttemptStatus::kInfeasible)
             ++result.attemptsProvenInfeasible;
         result.records.push_back({min_ii + i,
-                                  slot.outcome.schedule.has_value(),
-                                  slot.outcome.status, slot.seconds});
+                                  slot->outcome.schedule.has_value(),
+                                  slot->outcome.status, slot->seconds});
     }
     if (winner >= 0)
-        result.schedule = std::move(slots[winner].outcome.schedule);
+        result.schedule = std::move(peek_slot(winner)->outcome.schedule);
 
     for (int i = 0; i < candidates; ++i) {
-        const Slot& slot = slots[i];
-        if (!slot.started)
+        Slot* slot = peek_slot(i);
+        if (slot == nullptr) {
+            i += kSlotChunk - 1 - i % kSlotChunk;
+            continue;
+        }
+        if (!slot->started)
             continue;
         ++result.attemptsStarted;
-        result.cpuSeconds += slot.seconds;
-        if (slot.outcome.status == AttemptStatus::kCancelled)
+        result.cpuSeconds += slot->seconds;
+        if (slot->outcome.status == AttemptStatus::kCancelled)
             ++result.attemptsCancelled;
         if (winner >= 0 && i > winner)
             ++result.attemptsWasted;

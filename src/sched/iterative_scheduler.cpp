@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sched/attempt_state.hpp"
 #include "sched/partial_schedule.hpp"
 #include "sched/ready_queue.hpp"
 
@@ -14,10 +15,15 @@ namespace {
  * Working state of one attempt; separated from IterativeScheduler so the
  * scheduler object itself stays reusable across IIs.
  *
- * The attempt keeps its instrumentation in plain members instead of
+ * The attempt keeps its instrumentation in an AttemptStats instead of
  * bumping a support::Counters* on every inner-loop iteration; the
  * scheduler flushes one batched delta per attempt into the unified
  * telemetry counters (see IterativeScheduler::trySchedule).
+ *
+ * Estart is maintained incrementally by an EstartTracker (delta updates
+ * on place/displace instead of a per-step in-edge rescan); the values it
+ * returns are bit-identical to the rescan, so schedules and traces are
+ * unchanged.
  */
 class Attempt
 {
@@ -34,6 +40,7 @@ class Attempt
           ii_(ii),
           cancel_(cancel),
           schedule_(graph, loop, machine, ii, cache),
+          estart_(graph, schedule_, stats_),
           ready_(priority)
     {
     }
@@ -49,9 +56,10 @@ class Attempt
 
         // Schedule START at time 0.
         schedule_.place(graph_.start(), 0, 0);
+        estart_.onPlace(graph_.start(), 0);
         ready_.erase(graph_.start());
         --budget;
-        ++stepsUsed_;
+        ++stats_.scheduleSteps;
 
         while (!ready_.empty() && budget > 0) {
             // Cooperative cancellation: when a racing search has already
@@ -63,7 +71,7 @@ class Attempt
                 return false;
             }
             const graph::VertexId op = ready_.top();
-            const int estart = calculateEarlyStart(op);
+            const int estart = estart_.estart(op);
             const int min_time = estart;
             const int max_time = min_time + ii_ - 1;
             const auto [slot, alternative] =
@@ -71,7 +79,7 @@ class Attempt
 
             TraceEvent event;
             if (options_.trace != nullptr) {
-                event.step = static_cast<int>(stepsUsed_);
+                event.step = static_cast<int>(stats_.scheduleSteps);
                 event.op = op;
                 event.priority = priority_[op];
                 event.estart = estart;
@@ -85,7 +93,7 @@ class Attempt
 
             scheduleAt(op, slot, alternative);
             --budget;
-            ++stepsUsed_;
+            ++stats_.scheduleSteps;
 
             if (options_.trace != nullptr) {
                 event.alternative = schedule_.alternativeOf(op);
@@ -103,31 +111,20 @@ class Attempt
     }
 
     AttemptStatus status() const { return status_; }
-    std::int64_t stepsUsed() const { return stepsUsed_; }
-    std::int64_t unschedules() const { return unschedules_; }
-    std::uint64_t estartVisits() const { return estartVisits_; }
-    std::uint64_t slotProbes() const { return slotProbes_; }
+    std::int64_t
+    stepsUsed() const
+    {
+        return static_cast<std::int64_t>(stats_.scheduleSteps);
+    }
+    std::int64_t
+    unschedules() const
+    {
+        return static_cast<std::int64_t>(stats_.unscheduleSteps);
+    }
+    const AttemptStats& stats() const { return stats_; }
     const PartialSchedule& schedule() const { return schedule_; }
 
   private:
-    /** Figure 5(b): only currently scheduled predecessors constrain. */
-    int
-    calculateEarlyStart(graph::VertexId op)
-    {
-        std::int64_t estart = 0;
-        for (graph::EdgeId eid : graph_.inEdges(op)) {
-            ++estartVisits_;
-            const graph::DepEdge& edge = graph_.edge(eid);
-            if (edge.from == op || !schedule_.isScheduled(edge.from))
-                continue;
-            const std::int64_t bound =
-                schedule_.timeOf(edge.from) + edge.delay -
-                static_cast<std::int64_t>(ii_) * edge.distance;
-            estart = std::max(estart, std::max<std::int64_t>(0, bound));
-        }
-        return static_cast<int>(estart);
-    }
-
     /**
      * Figure 4. Returns (slot, alternative); alternative is -1 when no
      * conflict-free slot exists (forced placement).
@@ -164,11 +161,12 @@ class Attempt
         if (best_slot >= 0) {
             // Keep the Table-4 probe metric comparable: the slot-by-slot
             // loop this scan replaced examined every slot up to the hit.
-            slotProbes_ +=
+            stats_.slotProbes +=
                 static_cast<std::uint64_t>(best_slot - min_time + 1);
             return {best_slot, best_alternative};
         }
-        slotProbes_ += static_cast<std::uint64_t>(max_time - min_time + 1);
+        stats_.slotProbes +=
+            static_cast<std::uint64_t>(max_time - min_time + 1);
         // No conflict-free slot: pick per the forward-progress rule.
         int slot;
         if (!options_.forwardProgressRule) {
@@ -211,20 +209,15 @@ class Attempt
                    "displacing the chosen alternative's victims frees it");
         }
         schedule_.place(op, slot, alternative);
+        estart_.onPlace(op, slot);
         ready_.erase(op);
 
         // Displace successors whose dependence constraints are violated.
         // (Predecessor constraints hold by construction: slot >= Estart.)
-        for (graph::EdgeId eid : graph_.outEdges(op)) {
-            const graph::DepEdge& edge = graph_.edge(eid);
-            if (edge.to == op || !schedule_.isScheduled(edge.to))
-                continue;
-            const std::int64_t earliest =
-                static_cast<std::int64_t>(slot) + edge.delay -
-                static_cast<std::int64_t>(ii_) * edge.distance;
-            if (schedule_.timeOf(edge.to) < earliest)
-                displace(edge.to);
-        }
+        ejectViolatedSuccessors(graph_, schedule_, op, slot, ii_,
+                                [this](graph::VertexId victim) {
+                                    displace(victim);
+                                });
     }
 
     void
@@ -234,8 +227,9 @@ class Attempt
         if (!schedule_.isScheduled(victim))
             return;
         schedule_.remove(victim);
+        estart_.onRemove(victim);
         ready_.push(victim);
-        ++unschedules_;
+        ++stats_.unscheduleSteps;
         if (options_.trace != nullptr)
             displacedThisStep_.push_back(victim);
     }
@@ -246,16 +240,14 @@ class Attempt
     int ii_;
     const support::CancellationToken* cancel_;
     AttemptStatus status_ = AttemptStatus::kBudgetExhausted;
+    AttemptStats stats_;
     PartialSchedule schedule_;
+    EstartTracker estart_;
     ReadyQueue ready_;
     /** Scratch for forced-placement conflict queries (no per-call alloc). */
     std::vector<int> conflictScratch_;
     std::vector<graph::VertexId> displacedThisStep_;
     std::vector<graph::VertexId> resourceDisplacedThisStep_;
-    std::int64_t stepsUsed_ = 0;
-    std::int64_t unschedules_ = 0;
-    std::uint64_t estartVisits_ = 0;
-    std::uint64_t slotProbes_ = 0;
 };
 
 } // namespace
@@ -295,32 +287,15 @@ IterativeScheduler::trySchedule(int ii, std::int64_t budget,
     // (and, through the pipeliner's end-of-run onCounters, every
     // TelemetrySink) — the hot loop itself never touches the shared
     // struct.
-    if (counters_ != nullptr) {
-        counters_->estartPredecessorVisits += attempt.estartVisits();
-        counters_->findTimeSlotProbes += attempt.slotProbes();
-        counters_->scheduleSteps +=
-            static_cast<std::uint64_t>(attempt.stepsUsed());
-        counters_->unscheduleSteps +=
-            static_cast<std::uint64_t>(attempt.unschedules());
-        counters_->mrtMaskProbes += attempt.schedule().mrt().maskProbes();
-        counters_->mrtSlotScans += attempt.schedule().mrt().slotScans();
-    }
+    if (counters_ != nullptr)
+        attempt.stats().flushInto(*counters_, attempt.schedule().mrt());
 
     if (!success)
         return std::nullopt;
 
-    ScheduleResult result;
-    result.ii = ii;
-    result.times.resize(graph_.numOps());
-    result.alternatives.resize(graph_.numOps());
-    for (graph::VertexId v = 0; v < graph_.numOps(); ++v) {
-        result.times[v] = attempt.schedule().timeOf(v);
-        result.alternatives[v] = attempt.schedule().alternativeOf(v);
-    }
-    result.scheduleLength = attempt.schedule().timeOf(graph_.stop());
-    result.stepsUsed = attempt.stepsUsed();
-    result.unschedules = attempt.unschedules();
-    return result;
+    return extractScheduleResult(attempt.schedule(), graph_, ii,
+                                 attempt.stepsUsed(),
+                                 attempt.unschedules());
 }
 
 } // namespace ims::sched

@@ -16,7 +16,10 @@ ModuloReservationTable::ModuloReservationTable(int ii, int num_resources,
                               ? ~std::uint64_t{0}
                               : (std::uint64_t{1} << (ii % 64)) - 1),
       cells_(static_cast<std::size_t>(ii) * num_resources, kFree),
-      held_(num_ops),
+      numOps_(num_ops),
+      heldStride_(4),
+      heldCells_(static_cast<std::size_t>(num_ops) * 4, 0),
+      heldCount_(num_ops, 0),
       rowMasks_(static_cast<std::size_t>(ii) * wordsPerRow_, 0),
       resourceRows_(static_cast<std::size_t>(num_resources) *
                         wordsPerColumn_,
@@ -209,12 +212,35 @@ ModuloReservationTable::conflictingOps(const machine::ReservationTable& table,
 }
 
 void
+ModuloReservationTable::growHeldStride(int needed)
+{
+    const int new_stride = std::max(heldStride_ * 2, needed);
+    std::vector<std::int32_t> grown(
+        static_cast<std::size_t>(numOps_) * new_stride, 0);
+    for (int op = 0; op < numOps_; ++op) {
+        std::copy_n(heldCells_.data() +
+                        static_cast<std::size_t>(op) * heldStride_,
+                    heldCount_[op],
+                    grown.data() +
+                        static_cast<std::size_t>(op) * new_stride);
+    }
+    heldCells_.swap(grown);
+    heldStride_ = new_stride;
+}
+
+void
 ModuloReservationTable::reserve(int op,
                                 const machine::ReservationTable& table,
                                 int time)
 {
-    assert(op >= 0 && op < static_cast<int>(held_.size()));
-    assert(held_[op].empty() && "operation already holds reservations");
+    assert(op >= 0 && op < numOps_);
+    assert(heldCount_[op] == 0 && "operation already holds reservations");
+    const int num_uses = static_cast<int>(table.uses().size());
+    if (num_uses > heldStride_)
+        growHeldStride(num_uses);
+    std::int32_t* held =
+        heldCells_.data() + static_cast<std::size_t>(op) * heldStride_;
+    int count = 0;
     for (const auto& use : table.uses()) {
         const int row = rowOf(time + use.time);
         const std::size_t cell =
@@ -222,8 +248,9 @@ ModuloReservationTable::reserve(int op,
         assert(cells_[cell] == kFree && "double booking in MRT");
         cells_[cell] = op;
         setCellBits(row, use.resource);
-        held_[op].push_back(static_cast<int>(cell));
+        held[count++] = static_cast<std::int32_t>(cell);
     }
+    heldCount_[op] = count;
 #ifdef IMS_EXPENSIVE_CHECKS
     assert(masksConsistent());
 #endif
@@ -232,13 +259,17 @@ ModuloReservationTable::reserve(int op,
 void
 ModuloReservationTable::release(int op)
 {
-    assert(op >= 0 && op < static_cast<int>(held_.size()));
-    for (int cell : held_[op]) {
+    assert(op >= 0 && op < numOps_);
+    const std::int32_t* held =
+        heldCells_.data() + static_cast<std::size_t>(op) * heldStride_;
+    const int count = heldCount_[op];
+    for (int i = 0; i < count; ++i) {
+        const std::int32_t cell = held[i];
         assert(cells_[cell] == op);
         cells_[cell] = kFree;
         clearCellBits(cell / numResources_, cell % numResources_);
     }
-    held_[op].clear();
+    heldCount_[op] = 0;
 #ifdef IMS_EXPENSIVE_CHECKS
     assert(masksConsistent());
 #endif

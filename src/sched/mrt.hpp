@@ -166,6 +166,9 @@ class ModuloReservationTable
     void orRotatedInto(const std::uint64_t* src, int rotation,
                        std::uint64_t* dst) const;
 
+    /** Widen the per-op held-cell slices to at least `needed` entries. */
+    void growHeldStride(int needed);
+
     int ii_;
     int numResources_;
     /** Words per row occupancy mask: ceil(numResources / 64). */
@@ -175,8 +178,17 @@ class ModuloReservationTable
     /** Valid-bit mask for the last word of a row bitset. */
     std::uint64_t lastColumnWordMask_;
     std::vector<int> cells_;
-    /** Per op: linear cell indices it holds. */
-    std::vector<std::vector<int>> held_;
+    /**
+     * Held-cell bookkeeping as one flat arena instead of a vector per
+     * op: op `i` holds heldCount_[i] linear cell indices at
+     * heldCells_[i * heldStride_ ...]. The stride starts small and the
+     * whole arena is repacked on the rare reservation wider than it —
+     * reserve/release never allocate on the steady-state hot path.
+     */
+    int numOps_;
+    int heldStride_;
+    std::vector<std::int32_t> heldCells_;
+    std::vector<std::int32_t> heldCount_;
     /** Row-major occupancy: ii_ rows of wordsPerRow_ resource words. */
     std::vector<std::uint64_t> rowMasks_;
     /** Column-major occupancy: per resource, wordsPerColumn_ row words. */

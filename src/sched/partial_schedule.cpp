@@ -27,13 +27,15 @@ PartialSchedule::PartialSchedule(const graph::DepGraph& graph,
       mrt_(ii, machine.numResources(), graph.numVertices()),
       alternatives_(graph.numVertices()),
       compiled_(graph.numVertices()),
-      scheduled_(graph.numVertices(), false),
-      never_(graph.numVertices(), true),
-      time_(graph.numVertices(), 0),
-      prevTime_(graph.numVertices(), 0),
-      alternative_(graph.numVertices(), 0)
+      arena_(static_cast<std::size_t>(graph.numVertices()) * 4, 0)
 {
     assert(loop.size() == graph.numOps());
+    const std::size_t vertices =
+        static_cast<std::size_t>(graph.numVertices());
+    time_ = arena_.data();
+    prevTime_ = arena_.data() + vertices;
+    alternative_ = arena_.data() + 2 * vertices;
+    flags_ = arena_.data() + 3 * vertices;
     if (cache == nullptr) {
         ownedCache_ = std::make_unique<machine::CompiledTableCache>();
         cache = ownedCache_.get();
@@ -72,11 +74,10 @@ PartialSchedule::fittingAlternative(graph::VertexId v, int time) const
 void
 PartialSchedule::place(graph::VertexId v, int time, int alternative)
 {
-    assert(!scheduled_[v]);
+    assert(!isScheduled(v));
     const auto& table = (*alternatives_[v])[alternative].table;
     mrt_.reserve(v, table, time);
-    scheduled_[v] = true;
-    never_[v] = false;
+    flags_[v] = kScheduled | kEverScheduled;
     time_[v] = time;
     prevTime_[v] = time;
     alternative_[v] = alternative;
@@ -86,9 +87,9 @@ PartialSchedule::place(graph::VertexId v, int time, int alternative)
 void
 PartialSchedule::remove(graph::VertexId v)
 {
-    assert(scheduled_[v]);
+    assert(isScheduled(v));
     mrt_.release(v);
-    scheduled_[v] = false;
+    flags_[v] &= ~kScheduled;
     --numScheduled_;
 }
 

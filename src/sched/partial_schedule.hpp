@@ -1,6 +1,7 @@
 #ifndef IMS_SCHED_PARTIAL_SCHEDULE_HPP
 #define IMS_SCHED_PARTIAL_SCHEDULE_HPP
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,13 @@ namespace ims::sched {
  * Vertices are the dependence graph's (loop operations plus START/STOP);
  * pseudo vertices occupy no resources.
  *
+ * The per-vertex state lives in one arena allocation laid out as four
+ * struct-of-arrays planes (time, prevTime, alternative, flags), so a
+ * scheduling step touches a handful of adjacent cache lines instead of
+ * five separately allocated vectors (two of them bit-packed
+ * vector<bool>s). The alternative/compiled lookup tables are separate
+ * pointer arrays because they alias machine-model data.
+ *
  * Construction lowers every vertex's reservation tables into
  * bitmask-compiled form (machine::CompiledReservationTable) via a
  * CompiledTableCache, so conflict probes and slot scans run on masks
@@ -37,7 +45,11 @@ class PartialSchedule
 
     int ii() const { return ii_; }
 
-    bool isScheduled(graph::VertexId v) const { return scheduled_[v]; }
+    bool
+    isScheduled(graph::VertexId v) const
+    {
+        return (flags_[v] & kScheduled) != 0;
+    }
 
     /** Schedule time; only meaningful while isScheduled(v). */
     int timeOf(graph::VertexId v) const { return time_[v]; }
@@ -45,7 +57,11 @@ class PartialSchedule
     /** Chosen alternative index; only meaningful while isScheduled(v). */
     int alternativeOf(graph::VertexId v) const { return alternative_[v]; }
 
-    bool neverScheduled(graph::VertexId v) const { return never_[v]; }
+    bool
+    neverScheduled(graph::VertexId v) const
+    {
+        return (flags_[v] & kEverScheduled) == 0;
+    }
 
     /** Time at which v was last scheduled (valid once !neverScheduled). */
     int prevScheduleTime(graph::VertexId v) const { return prevTime_[v]; }
@@ -97,6 +113,9 @@ class PartialSchedule
     bool allVerticesPlaceable() const;
 
   private:
+    static constexpr std::int32_t kScheduled = 1;
+    static constexpr std::int32_t kEverScheduled = 2;
+
     const graph::DepGraph& graph_;
     int ii_;
     ModuloReservationTable mrt_;
@@ -105,11 +124,12 @@ class PartialSchedule
     std::vector<const std::vector<machine::Alternative>*> alternatives_;
     std::vector<const std::vector<machine::CompiledReservationTable>*>
         compiled_;
-    std::vector<bool> scheduled_;
-    std::vector<bool> never_;
-    std::vector<int> time_;
-    std::vector<int> prevTime_;
-    std::vector<int> alternative_;
+    /** The arena: four numVertices()-sized int32 planes, one allocation. */
+    std::vector<std::int32_t> arena_;
+    std::int32_t* time_ = nullptr;
+    std::int32_t* prevTime_ = nullptr;
+    std::int32_t* alternative_ = nullptr;
+    std::int32_t* flags_ = nullptr;
     int numScheduled_ = 0;
 };
 

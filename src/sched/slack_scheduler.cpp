@@ -6,6 +6,7 @@
 
 #include "mii/mii.hpp"
 #include "mii/min_dist.hpp"
+#include "sched/attempt_state.hpp"
 #include "sched/partial_schedule.hpp"
 #include "sched/schedule.hpp"
 #include "support/error.hpp"
@@ -16,7 +17,15 @@ namespace {
 
 constexpr std::int64_t kInf = INT64_MAX / 4;
 
-/** One slack-scheduling attempt at a fixed II. */
+/**
+ * One slack-scheduling attempt at a fixed II.
+ *
+ * Unlike the iterative scheduler, the (etime, ltime) window is computed
+ * through the MinDist matrix against *every* placed vertex — a
+ * transitive, bidirectional bound, not the one-edge-deep Estart of
+ * Figure 5(b) — so the incremental EstartTracker does not apply here;
+ * the shared AttemptStats and ejection helpers do.
+ */
 class SlackAttempt
 {
   public:
@@ -29,9 +38,7 @@ class SlackAttempt
           ii_(ii),
           cancel_(cancel),
           dist_(graph, ii, counters),
-          schedule_(graph, loop, machine, ii),
-          unplaced_(graph.numVertices(), true),
-          numUnplaced_(graph.numVertices())
+          schedule_(graph, loop, machine, ii)
     {
     }
 
@@ -47,15 +54,15 @@ class SlackAttempt
         const int deadline = static_cast<int>(
             dist_.atVertex(graph_.start(), graph_.stop()));
 
-        place(graph_.start(), 0, 0);
+        schedule_.place(graph_.start(), 0, 0);
         --budget;
         // Pre-place STOP at the critical-path deadline so every ltime is
         // finite; it is ejected and re-placed if a forced placement
         // pushes past it.
-        place(graph_.stop(), deadline, 0);
+        schedule_.place(graph_.stop(), deadline, 0);
         --budget;
 
-        while (numUnplaced_ > 0 && budget > 0) {
+        while (numUnplaced() > 0 && budget > 0) {
             // Same cooperative check as the iterative scheduler's budget
             // loop: once a racing search accepts a lower II this
             // attempt's result is dead, stop within one step.
@@ -75,7 +82,7 @@ class SlackAttempt
                     std::min<std::int64_t>(ltime, etime + ii_ - 1);
                 if (early) {
                     for (std::int64_t t = lo; t <= hi; ++t) {
-                        ++slotProbes_;
+                        ++stats_.slotProbes;
                         alternative = schedule_.fittingAlternative(
                             op, static_cast<int>(t));
                         if (alternative >= 0) {
@@ -87,7 +94,7 @@ class SlackAttempt
                     const std::int64_t down_lo =
                         std::max<std::int64_t>(lo, ltime - ii_ + 1);
                     for (std::int64_t t = ltime; t >= down_lo; --t) {
-                        ++slotProbes_;
+                        ++stats_.slotProbes;
                         alternative = schedule_.fittingAlternative(
                             op, static_cast<int>(t));
                         if (alternative >= 0) {
@@ -111,13 +118,24 @@ class SlackAttempt
                 assert(alternative >= 0);
             }
 
-            place(op, slot, alternative);
-            ejectDependenceViolations(op, slot, unschedules);
+            schedule_.place(op, slot, alternative);
+            // Because placement is bidirectional, both placed
+            // predecessors and placed successors can end up violated;
+            // eject them (they re-enter the worklist with updated
+            // windows).
+            const auto eject_victim = [this,
+                                       &unschedules](graph::VertexId v) {
+                eject(v, unschedules);
+            };
+            ejectViolatedSuccessors(graph_, schedule_, op, slot, ii_,
+                                    eject_victim);
+            ejectViolatedPredecessors(graph_, schedule_, op, slot, ii_,
+                                      eject_victim);
             --budget;
             ++steps_used;
-            ++scheduleSteps_;
+            ++stats_.scheduleSteps;
         }
-        return numUnplaced_ == 0;
+        return numUnplaced() == 0;
     }
 
     const PartialSchedule& schedule() const { return schedule_; }
@@ -128,12 +146,15 @@ class SlackAttempt
     bool provenInfeasible() const { return infeasible_; }
 
     /** Batched counter deltas, flushed once per attempt by the driver. */
-    std::uint64_t estartVisits() const { return estartVisits_; }
-    std::uint64_t slotProbes() const { return slotProbes_; }
-    std::uint64_t scheduleSteps() const { return scheduleSteps_; }
-    std::uint64_t unscheduleSteps() const { return unscheduleSteps_; }
+    const AttemptStats& stats() const { return stats_; }
 
   private:
+    int
+    numUnplaced() const
+    {
+        return graph_.numVertices() - schedule_.numScheduled();
+    }
+
     /** Dynamic (etime, ltime) window against the placed operations. */
     std::pair<std::int64_t, std::int64_t>
     window(graph::VertexId op) const
@@ -141,9 +162,9 @@ class SlackAttempt
         std::int64_t etime = 0;
         std::int64_t ltime = kInf;
         for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
-            if (unplaced_[v] || v == op)
+            if (!schedule_.isScheduled(v) || v == op)
                 continue;
-            ++estartVisits_;
+            ++stats_.estartVisits;
             const std::int64_t to_op = dist_.atVertex(v, op);
             if (to_op != mii::MinDistMatrix::kMinusInf) {
                 etime = std::max(etime, schedule_.timeOf(v) + to_op);
@@ -165,7 +186,7 @@ class SlackAttempt
         graph::VertexId best = -1;
         std::int64_t best_slack = kInf;
         for (graph::VertexId v = 0; v < graph_.numVertices(); ++v) {
-            if (!unplaced_[v])
+            if (schedule_.isScheduled(v))
                 continue;
             const auto [etime, ltime] = window(v);
             const std::int64_t slack = ltime - etime;
@@ -184,40 +205,26 @@ class SlackAttempt
     {
         int unplaced_preds = 0;
         int unplaced_succs = 0;
-        for (graph::EdgeId eid : graph_.inEdges(op)) {
-            const auto& e = graph_.edge(eid);
-            if (e.from != op && unplaced_[e.from])
+        for (const graph::Dep& dep : graph_.inDeps(op)) {
+            if (dep.other != op && !schedule_.isScheduled(dep.other))
                 ++unplaced_preds;
         }
-        for (graph::EdgeId eid : graph_.outEdges(op)) {
-            const auto& e = graph_.edge(eid);
-            if (e.to != op && unplaced_[e.to])
+        for (const graph::Dep& dep : graph_.outDeps(op)) {
+            if (dep.other != op && !schedule_.isScheduled(dep.other))
                 ++unplaced_succs;
         }
         return unplaced_succs >= unplaced_preds;
     }
 
     void
-    place(graph::VertexId op, int time, int alternative)
-    {
-        schedule_.place(op, time, alternative);
-        unplaced_[op] = false;
-        ++numPlaced_;
-        --numUnplaced_;
-    }
-
-    void
     eject(graph::VertexId victim, std::int64_t& unschedules)
     {
         assert(victim != graph_.start());
-        if (unplaced_[victim])
+        if (!schedule_.isScheduled(victim))
             return;
         schedule_.remove(victim);
-        unplaced_[victim] = true;
-        --numPlaced_;
-        ++numUnplaced_;
         ++unschedules;
-        ++unscheduleSteps_;
+        ++stats_.unscheduleSteps;
     }
 
     /** Eject everything conflicting with any alternative at `slot`. */
@@ -236,39 +243,6 @@ class SlackAttempt
         }
     }
 
-    /**
-     * Because placement is bidirectional, both placed predecessors and
-     * placed successors can end up violated; eject them (they re-enter
-     * the worklist with updated windows).
-     */
-    void
-    ejectDependenceViolations(graph::VertexId op, int slot,
-                              std::int64_t& unschedules)
-    {
-        for (graph::EdgeId eid : graph_.outEdges(op)) {
-            const auto& e = graph_.edge(eid);
-            if (e.to == op || unplaced_[e.to])
-                continue;
-            const std::int64_t earliest =
-                static_cast<std::int64_t>(slot) + e.delay -
-                static_cast<std::int64_t>(ii_) * e.distance;
-            if (schedule_.timeOf(e.to) < earliest)
-                eject(e.to, unschedules);
-        }
-        for (graph::EdgeId eid : graph_.inEdges(op)) {
-            const auto& e = graph_.edge(eid);
-            if (e.from == op || unplaced_[e.from] ||
-                e.from == graph_.start()) {
-                continue;
-            }
-            const std::int64_t latest =
-                static_cast<std::int64_t>(slot) - e.delay +
-                static_cast<std::int64_t>(ii_) * e.distance;
-            if (schedule_.timeOf(e.from) > latest)
-                eject(e.from, unschedules);
-        }
-    }
-
     const graph::DepGraph& graph_;
     int ii_;
     const support::CancellationToken* cancel_;
@@ -276,15 +250,8 @@ class SlackAttempt
     bool infeasible_ = false;
     mii::MinDistMatrix dist_;
     PartialSchedule schedule_;
-    std::vector<bool> unplaced_;
-    int numPlaced_ = 0;
-    int numUnplaced_ = 0;
-    /** Plain locals instead of per-event Counters writes on the hot
-        path; `window` is const, hence mutable. */
-    mutable std::uint64_t estartVisits_ = 0;
-    std::uint64_t slotProbes_ = 0;
-    std::uint64_t scheduleSteps_ = 0;
-    std::uint64_t unscheduleSteps_ = 0;
+    /** Batched instrumentation; `window` is const, hence mutable. */
+    mutable AttemptStats stats_;
 };
 
 } // namespace
@@ -323,29 +290,11 @@ runSlackSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
                 out.status = AttemptStatus::kInfeasible;
             else
                 out.status = AttemptStatus::kBudgetExhausted;
-            out.counters.estartPredecessorVisits += attempt.estartVisits();
-            out.counters.findTimeSlotProbes += attempt.slotProbes();
-            out.counters.scheduleSteps += attempt.scheduleSteps();
-            out.counters.unscheduleSteps += attempt.unscheduleSteps();
-            out.counters.mrtMaskProbes +=
-                attempt.schedule().mrt().maskProbes();
-            out.counters.mrtSlotScans +=
-                attempt.schedule().mrt().slotScans();
+            attempt.stats().flushInto(out.counters,
+                                      attempt.schedule().mrt());
             if (scheduled) {
-                ScheduleResult result;
-                result.ii = ii;
-                result.times.resize(graph.numOps());
-                result.alternatives.resize(graph.numOps());
-                for (graph::VertexId v = 0; v < graph.numOps(); ++v) {
-                    result.times[v] = attempt.schedule().timeOf(v);
-                    result.alternatives[v] =
-                        attempt.schedule().alternativeOf(v);
-                }
-                result.scheduleLength =
-                    attempt.schedule().timeOf(graph.stop());
-                result.stepsUsed = steps;
-                result.unschedules = unschedules;
-                out.schedule = std::move(result);
+                out.schedule = extractScheduleResult(
+                    attempt.schedule(), graph, ii, steps, unschedules);
             }
             return out;
         };

@@ -25,8 +25,11 @@ struct Counters
     std::uint64_t minDistInvocations = 0;
     /** Innermost relaxation steps of the HeightR computation. */
     std::uint64_t heightRInnerSteps = 0;
-    /** Predecessor examinations while computing Estart. */
+    /** Predecessor examinations while computing Estart from scratch. */
     std::uint64_t estartPredecessorVisits = 0;
+    /** Estart queries answered from the incremental per-op cache without
+        rescanning any in-edge (see sched::EstartTracker). */
+    std::uint64_t estartIncrementalHits = 0;
     /** Time slots examined by FindTimeSlot. */
     std::uint64_t findTimeSlotProbes = 0;
     /** Operation scheduling steps performed (the paper's budget unit). */
@@ -47,6 +50,7 @@ struct Counters
         minDistInvocations += other.minDistInvocations;
         heightRInnerSteps += other.heightRInnerSteps;
         estartPredecessorVisits += other.estartPredecessorVisits;
+        estartIncrementalHits += other.estartIncrementalHits;
         findTimeSlotProbes += other.findTimeSlotProbes;
         scheduleSteps += other.scheduleSteps;
         unscheduleSteps += other.unscheduleSteps;

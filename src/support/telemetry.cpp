@@ -27,13 +27,14 @@ struct CounterField
     std::uint64_t Counters::* field;
 };
 
-constexpr std::array<CounterField, 11> kCounterFields = {{
+constexpr std::array<CounterField, 12> kCounterFields = {{
     {"scc_edge_visits", &Counters::sccEdgeVisits},
     {"res_mii_inspections", &Counters::resMiiInspections},
     {"min_dist_inner_steps", &Counters::minDistInnerSteps},
     {"min_dist_invocations", &Counters::minDistInvocations},
     {"height_r_inner_steps", &Counters::heightRInnerSteps},
     {"estart_predecessor_visits", &Counters::estartPredecessorVisits},
+    {"estart_incremental_hits", &Counters::estartIncrementalHits},
     {"find_time_slot_probes", &Counters::findTimeSlotProbes},
     {"schedule_steps", &Counters::scheduleSteps},
     {"unschedule_steps", &Counters::unscheduleSteps},

@@ -32,6 +32,7 @@ expectCountersEqual(const support::Counters& a, const support::Counters& b,
     EXPECT_EQ(a.heightRInnerSteps, b.heightRInnerSteps) << context;
     EXPECT_EQ(a.estartPredecessorVisits, b.estartPredecessorVisits)
         << context;
+    EXPECT_EQ(a.estartIncrementalHits, b.estartIncrementalHits) << context;
     EXPECT_EQ(a.findTimeSlotProbes, b.findTimeSlotProbes) << context;
     EXPECT_EQ(a.scheduleSteps, b.scheduleSteps) << context;
     EXPECT_EQ(a.unscheduleSteps, b.unscheduleSteps) << context;
