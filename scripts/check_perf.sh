@@ -18,6 +18,11 @@
 #     bit-identical to cold runs, the replay pass must hit >=95% of the
 #     time, and the hit-path p50 latency must be >=10x faster than the
 #     cold-path p50.
+#  4. bench_program_compile — whole-program driver gates: pipeline
+#     compression must never increase the cycle count on any corpus
+#     program at any checked trip, must strictly reduce it on at least
+#     one, and every compiled program must match the sequential
+#     reference (baseline: BENCH_program.json at the repo root).
 #
 # Usage: scripts/check_perf.sh [build-dir]   (default: build-perf)
 #
@@ -27,6 +32,7 @@
 #       --out BENCH_sched_hotpath.json
 #   <build-dir>/bench/bench_ii_search --out BENCH_ii_search.json
 #   <build-dir>/bench/bench_service --out BENCH_service.json
+#   <build-dir>/bench/bench_program_compile --out BENCH_program.json
 # and commit the new BENCH_*.json files.
 set -euo pipefail
 
@@ -41,7 +47,7 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_sched_hotpath bench_ii_search \
-    bench_service
+    bench_service bench_program_compile
 
 echo "== bench_sched_hotpath (identity + >10% regression + scaling gate) =="
 "$BUILD_DIR/bench/bench_sched_hotpath" \
@@ -70,5 +76,32 @@ fi
 echo "== bench_service (hit identity + >=95% replay hits + 10x hit p50) =="
 "$BUILD_DIR/bench/bench_service" --quick --min-hit-speedup 10 \
     --out "$BUILD_DIR/BENCH_service.json"
+
+echo "== bench_program_compile (compression never regresses, wins >=1) =="
+"$BUILD_DIR/bench/bench_program_compile" \
+    --out "$BUILD_DIR/BENCH_program.json"
+# The compressed cycle counts are deterministic: any drift from the
+# checked-in baseline is a scheduling or compression change that needs a
+# deliberate baseline refresh.
+python3 - "$BUILD_DIR/BENCH_program.json" BENCH_program.json <<'EOF'
+import json, sys
+new = {r["program"]: r for r in json.load(open(sys.argv[1]))["results"]}
+old = {r["program"]: r for r in json.load(open(sys.argv[2]))["results"]}
+drift = []
+for name, baseline in old.items():
+    current = new.get(name)
+    if current is None:
+        drift.append(f"{name}: missing from the new report")
+        continue
+    for key in ("ii", "naive_cycles", "compressed_cycles"):
+        if current[key] != baseline[key]:
+            drift.append(f"{name}: {key} {baseline[key]} -> {current[key]}")
+if drift:
+    print("check_perf: program cycle counts drifted from BENCH_program.json:",
+          file=sys.stderr)
+    for line in drift:
+        print("  " + line, file=sys.stderr)
+    sys.exit(1)
+EOF
 
 echo "perf: all checks passed"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local CI: tier-1 tests, ThreadSanitizer concurrency checks, the
 # scheduler hot-path performance gate, a differential-fuzz smoke run,
-# and a schedule-service replay smoke.
+# a whole-program equivalence smoke, and a schedule-service replay
+# smoke.
 #
 # Usage: scripts/ci.sh
 #   IMS_CI_SKIP_TSAN=1  skips the ThreadSanitizer stage (e.g. where the
@@ -9,6 +10,7 @@
 #   IMS_CI_SKIP_PERF=1  skips the performance gate (e.g. on loaded or
 #                       throttled machines where timing is meaningless).
 #   IMS_CI_SKIP_FUZZ=1  skips the fuzz smoke stage.
+#   IMS_CI_SKIP_PROGRAM=1  skips the program equivalence smoke.
 #   IMS_CI_SKIP_SERVICE=1  skips the service replay smoke.
 #   FUZZ_BUDGET=<N>     fuzz case count (default 500 — the quick smoke
 #                       run; set e.g. 20000 for a long overnight run).
@@ -16,7 +18,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== stage 1/5: tier-1 tests ===="
+echo "==== stage 1/6: tier-1 tests ===="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
@@ -30,21 +32,21 @@ build/bench/bench_sched_hotpath --quick \
     --out build/BENCH_sched_hotpath_quick.json
 
 if [ "${IMS_CI_SKIP_TSAN:-0}" != "1" ]; then
-    echo "==== stage 2/5: ThreadSanitizer ===="
+    echo "==== stage 2/6: ThreadSanitizer ===="
     scripts/check_tsan.sh
 else
-    echo "==== stage 2/5: ThreadSanitizer (skipped) ===="
+    echo "==== stage 2/6: ThreadSanitizer (skipped) ===="
 fi
 
 if [ "${IMS_CI_SKIP_PERF:-0}" != "1" ]; then
-    echo "==== stage 3/5: performance gate ===="
+    echo "==== stage 3/6: performance gate ===="
     scripts/check_perf.sh
 else
-    echo "==== stage 3/5: performance gate (skipped) ===="
+    echo "==== stage 3/6: performance gate (skipped) ===="
 fi
 
 if [ "${IMS_CI_SKIP_FUZZ:-0}" != "1" ]; then
-    echo "==== stage 4/5: differential fuzz smoke ===="
+    echo "==== stage 4/6: differential fuzz smoke ===="
     # Fixed seed so the stage is reproducible; any finding fails CI and
     # leaves its minimized reproducer under build/fuzz-repro/ for replay
     # with `build/tools/ims-fuzz --replay <file>`. The pipeline under
@@ -70,14 +72,32 @@ if [ "${IMS_CI_SKIP_FUZZ:-0}" != "1" ]; then
         exit 1
     fi
 else
-    echo "==== stage 4/5: differential fuzz smoke (skipped) ===="
+    echo "==== stage 4/6: differential fuzz smoke (skipped) ===="
+fi
+
+if [ "${IMS_CI_SKIP_PROGRAM:-0}" != "1" ]; then
+    echo "==== stage 5/6: whole-program equivalence smoke ===="
+    # Every corpus program through the program-level driver (EC/LC loop
+    # control, stage predicates, pipeline compression) at trip counts
+    # {0,1,2,5,17}, compiled execution vs the sequential reference with
+    # a fixed input seed — timing-independent, so it always gates. The
+    # fuzz campaign covers the same driver on random loops via
+    # --oracle program.equiv.
+    build/tools/ims-schedule --program all --verify --quiet
+    build/tools/ims-fuzz --seed 20260807 \
+        --cases "${PROGRAM_FUZZ_BUDGET:-60}" \
+        --machine cydra5 --oracle program.equiv \
+        --repro-dir build/fuzz-repro \
+        --out build/fuzz-program-report.json
+else
+    echo "==== stage 5/6: whole-program equivalence smoke (skipped) ===="
 fi
 
 if [ "${IMS_CI_SKIP_SERVICE:-0}" != "1" ]; then
-    echo "==== stage 5/5: schedule-service replay smoke ===="
+    echo "==== stage 6/6: schedule-service replay smoke ===="
     scripts/check_service.sh build
 else
-    echo "==== stage 5/5: schedule-service replay smoke (skipped) ===="
+    echo "==== stage 6/6: schedule-service replay smoke (skipped) ===="
 fi
 
 echo "ci: all stages passed"

@@ -120,7 +120,9 @@ simEquivalenceDiagnostics(const ir::Loop& loop,
                 return sim::runGeneratedCode(loop, artifacts.code, spec);
             });
         }
-        if (!has_exit && trip >= 1) {
+        if (!has_exit) {
+            // No trip floor: the stage predicates make the kernel-only
+            // schema valid at every trip count, including 0.
             compare("kernel_only", [&] {
                 const codegen::KernelOnlyCode kernel_only =
                     codegen::generateKernelOnly(loop,

@@ -4,6 +4,8 @@
 
 #include "graph/scc.hpp"
 #include "mii/mii.hpp"
+#include "program/program_executor.hpp"
+#include "workloads/programs.hpp"
 
 namespace ims::fuzz {
 
@@ -62,6 +64,47 @@ runOracles(const ir::Loop& loop, const machine::MachineModel& machine,
                 std::to_string(artifacts.outcome.resMii) +
                 ", true RecMII " + std::to_string(true_rec) + ")";
             return verdict;
+        }
+
+        // Program-level equivalence oracle: the whole-program driver
+        // (EC/LC loop control, stage predicates, pipeline compression,
+        // marshaling) must also reproduce the sequential semantics for
+        // this loop at every trip count. Differential against the
+        // per-loop sim oracle above: it catches bugs in the program
+        // compiler and executor, not just in the schedule.
+        // The wrapper's marshal blocks and the EC/LC lowering introduce
+        // opcodes of their own; a random machine missing one of them
+        // cannot run the driver at all, which is undecided, not a
+        // finding.
+        const bool programOracleSupported =
+            machine.supports(ir::Opcode::kAdd) &&
+            machine.supports(ir::Opcode::kMul) &&
+            machine.supports(ir::Opcode::kSub) &&
+            machine.supports(ir::Opcode::kMax) &&
+            machine.supports(ir::Opcode::kMin) &&
+            machine.supports(ir::Opcode::kStore);
+        if (oracle.checkProgramEquivalence && programOracleSupported) {
+            const program::Program wrapped = workloads::wrapLoopAsProgram(
+                loop, "fuzz." + loop.name());
+            program::ProgramOptions program_options;
+            program_options.pipeline = config;
+            const auto program_diagnostics =
+                program::programEquivalenceDiagnostics(
+                    wrapped, machine, program_options, oracle.trips,
+                    oracle.simSeed);
+            for (const auto& diagnostic : program_diagnostics) {
+                verdict.diagnostics.push_back(diagnostic);
+                if (verdict.code.empty() &&
+                    diagnostic.severity ==
+                        core::Diagnostic::Severity::kError) {
+                    verdict.code = diagnostic.code.empty()
+                                       ? "program.error"
+                                       : diagnostic.code;
+                    verdict.message = diagnostic.message;
+                }
+            }
+            if (verdict.failed())
+                return verdict;
         }
 
         // Optimality oracle: the exact branch-and-bound backend proves

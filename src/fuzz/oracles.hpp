@@ -34,6 +34,16 @@ struct OracleOptions
     bool checkOptimality = false;
     /** Per-candidate-II node budget for the optimality oracle. */
     std::int64_t exactNodeBudget = sched::kDefaultExactNodeBudget;
+    /**
+     * Also run the program-level equivalence oracle: wrap the loop as a
+     * minimal full program (workloads::wrapLoopAsProgram), compile it
+     * through the ProgramCompiler (EC/LC lowering, stage predicates,
+     * pipeline compression) and require the compiled execution to match
+     * the sequential reference at every configured trip count
+     * ("program.mismatch" / "program.error", or the program compiler's
+     * own diagnostic codes). Off by default.
+     */
+    bool checkProgramEquivalence = false;
 };
 
 /**

@@ -1,0 +1,334 @@
+#include "program/program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ims::program {
+
+namespace {
+
+bool
+isControlVar(const std::string& name)
+{
+    return !name.empty() && name[0] == kControlVarPrefix;
+}
+
+/** True for opcodes a straight-line block statement may use. */
+bool
+blockOpcodeAllowed(ir::Opcode opcode)
+{
+    switch (opcode) {
+    case ir::Opcode::kBranch:
+    case ir::Opcode::kExitIf:
+    case ir::Opcode::kStart:
+    case ir::Opcode::kStop:
+        return false;
+    default:
+        return true;
+    }
+}
+
+void
+validateStatement(const Block& block, const Statement& statement,
+                  const std::string& trip_var)
+{
+    const std::string where =
+        "block '" + block.name + "': statement '" +
+        ir::opcodeName(statement.opcode) +
+        (statement.dest.empty() ? "" : " " + statement.dest) + "'";
+
+    support::check(blockOpcodeAllowed(statement.opcode),
+                   where + ": opcode not allowed in straight-line blocks");
+    support::check(!isControlVar(statement.dest),
+                   where + ": '" + std::string(1, kControlVarPrefix) +
+                       "'-prefixed variables are reserved for the "
+                       "compiler's loop-control state");
+    support::check(statement.dest != trip_var,
+                   where + ": blocks must not assign the trip-count "
+                           "variable '" +
+                       trip_var + "'");
+    for (const auto& source : statement.sources) {
+        if (source.isVariable()) {
+            support::check(!source.var.empty(),
+                           where + ": empty source variable name");
+            support::check(!isControlVar(source.var),
+                           where + ": reads reserved control variable '" +
+                               source.var + "'");
+        }
+    }
+
+    if (statement.opcode == ir::Opcode::kLoad) {
+        support::check(!statement.dest.empty(),
+                       where + ": load needs a destination variable");
+        support::check(!statement.array.empty(),
+                       where + ": load needs an array");
+        support::check(statement.sources.empty(),
+                       where + ": load takes no value operands (the "
+                               "element index is part of the statement)");
+        return;
+    }
+    if (statement.opcode == ir::Opcode::kStore) {
+        support::check(statement.dest.empty(),
+                       where + ": store has no destination variable");
+        support::check(!statement.array.empty(),
+                       where + ": store needs an array");
+        support::check(statement.sources.size() == 1,
+                       where + ": store takes exactly the stored value");
+        return;
+    }
+    support::check(!statement.dest.empty(),
+                   where + ": arithmetic statement needs a destination");
+    support::check(statement.array.empty(),
+                   where + ": only load/store reference arrays");
+    support::check(static_cast<int>(statement.sources.size()) ==
+                       ir::sourceCount(statement.opcode),
+                   where + ": operand count does not match the opcode");
+}
+
+} // namespace
+
+bool
+LoopSection::hasEarlyExit() const
+{
+    for (const auto& op : body.operations()) {
+        if (op.opcode == ir::Opcode::kExitIf)
+            return true;
+    }
+    return false;
+}
+
+void
+Program::validate() const
+{
+    support::check(!name.empty(), "program needs a name");
+    loop.body.validate();
+
+    support::check(!loop.tripVar.empty(),
+                   "program '" + name + "': loop section needs a "
+                                        "trip-count variable");
+    support::check(!isControlVar(loop.tripVar),
+                   "program '" + name + "': trip variable uses the "
+                                        "reserved control prefix");
+
+    for (const auto* blocks : {&preBlocks, &postBlocks}) {
+        for (const auto& block : *blocks) {
+            support::check(!block.name.empty(),
+                           "program '" + name + "': block needs a name");
+            for (const auto& statement : block.statements)
+                validateStatement(block, statement, loop.tripVar);
+        }
+    }
+
+    // Register-name lookup for binding validation.
+    const auto regIdByName = [&](const std::string& reg) -> ir::RegId {
+        for (ir::RegId id = 0; id < loop.body.numRegisters(); ++id) {
+            if (loop.body.reg(id).name == reg)
+                return id;
+        }
+        return ir::kNoReg;
+    };
+
+    for (const auto& [reg, var] : loop.liveInBindings) {
+        const ir::RegId id = regIdByName(reg);
+        support::check(id != ir::kNoReg && loop.body.reg(id).isLiveIn,
+                       "program '" + name + "': live-in binding for '" +
+                           reg + "' names no live-in loop register");
+        support::check(!var.empty() && !isControlVar(var),
+                       "program '" + name + "': live-in binding for '" +
+                           reg + "' uses an invalid variable name");
+    }
+    for (const auto& [reg, vars] : loop.seedBindings) {
+        const ir::RegId id = regIdByName(reg);
+        support::check(id != ir::kNoReg && loop.body.definingOp(id) >= 0,
+                       "program '" + name + "': seed binding for '" + reg +
+                           "' names no in-loop-defined register");
+        for (const auto& var : vars) {
+            support::check(!var.empty() && !isControlVar(var),
+                           "program '" + name + "': seed binding for '" +
+                               reg + "' uses an invalid variable name");
+        }
+    }
+    const bool early_exit = loop.hasEarlyExit();
+    support::check(!early_exit || loop.outputs.empty(),
+                   "program '" + name + "': WHILE-loops cannot bind "
+                                        "register outputs (post-exit state "
+                                        "is speculative)");
+    for (const auto& [var, reg] : loop.outputs) {
+        const ir::RegId id = regIdByName(reg);
+        support::check(id != ir::kNoReg && loop.body.definingOp(id) >= 0,
+                       "program '" + name + "': output '" + var +
+                           "' binds no in-loop-defined register");
+        support::check(!var.empty() && !isControlVar(var) &&
+                           var != loop.tripVar,
+                       "program '" + name + "': output variable '" + var +
+                           "' is invalid");
+    }
+    if (!loop.itersVar.empty()) {
+        support::check(!isControlVar(loop.itersVar) &&
+                           loop.itersVar != loop.tripVar &&
+                           loop.outputs.find(loop.itersVar) ==
+                               loop.outputs.end(),
+                       "program '" + name + "': iteration-count variable "
+                                            "collides with another "
+                                            "binding");
+    }
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream out;
+    out << "program " << name << "\n";
+    const auto renderBlock = [&](const Block& block) {
+        out << "  block " << block.name << "\n";
+        for (const auto& s : block.statements) {
+            out << "    ";
+            if (s.opcode == ir::Opcode::kLoad) {
+                out << s.dest << " = " << s.array << "[" << s.index << "]";
+            } else if (s.opcode == ir::Opcode::kStore) {
+                out << s.array << "[" << s.index << "] = "
+                    << (s.sources[0].isVariable()
+                            ? s.sources[0].var
+                            : std::to_string(s.sources[0].immediate));
+            } else {
+                out << s.dest << " = " << ir::opcodeName(s.opcode) << "(";
+                for (std::size_t k = 0; k < s.sources.size(); ++k) {
+                    if (k)
+                        out << ", ";
+                    if (s.sources[k].isVariable())
+                        out << s.sources[k].var;
+                    else
+                        out << s.sources[k].immediate;
+                }
+                out << ")";
+            }
+            if (!s.comment.empty())
+                out << "  ; " << s.comment;
+            out << "\n";
+        }
+    };
+    for (const auto& block : preBlocks)
+        renderBlock(block);
+    out << "  loop (trip = " << loop.tripVar;
+    if (loop.hasEarlyExit())
+        out << ", early exit";
+    if (!loop.itersVar.empty())
+        out << ", iterations -> " << loop.itersVar;
+    out << ")\n";
+    std::istringstream body(loop.body.toString());
+    for (std::string line; std::getline(body, line);)
+        out << "    " << line << "\n";
+    for (const auto& [var, reg] : loop.outputs)
+        out << "    output " << var << " <- " << reg << "\n";
+    for (const auto& block : postBlocks)
+        renderBlock(block);
+    return out.str();
+}
+
+std::vector<std::string>
+Program::inputVariables() const
+{
+    std::set<std::string> defined;
+    std::set<std::string> inputs;
+    const auto read = [&](const std::string& var) {
+        if (var != loop.tripVar && defined.find(var) == defined.end())
+            inputs.insert(var);
+    };
+    const auto scanBlock = [&](const Block& block) {
+        for (const auto& statement : block.statements) {
+            for (const auto& source : statement.sources) {
+                if (source.isVariable())
+                    read(source.var);
+            }
+            if (!statement.dest.empty())
+                defined.insert(statement.dest);
+        }
+    };
+    for (const auto& block : preBlocks)
+        scanBlock(block);
+    for (ir::RegId id = 0; id < loop.body.numRegisters(); ++id) {
+        if (loop.body.reg(id).isLiveIn)
+            read(loop.liveInVar(loop.body.reg(id).name));
+    }
+    for (const auto& [reg, vars] : loop.seedBindings) {
+        for (const auto& var : vars)
+            read(var);
+    }
+    // Output variables stay conditionally defined (a 0-trip loop writes
+    // nothing), so post-block reads of them still count as inputs; the
+    // iteration count is written unconditionally.
+    if (!loop.itersVar.empty())
+        defined.insert(loop.itersVar);
+    for (const auto& block : postBlocks)
+        scanBlock(block);
+    return {inputs.begin(), inputs.end()};
+}
+
+std::vector<std::string>
+Program::arrayNames() const
+{
+    std::set<std::string> names;
+    for (const auto& array : loop.body.arrays())
+        names.insert(array.name);
+    for (const auto* blocks : {&preBlocks, &postBlocks}) {
+        for (const auto& block : *blocks) {
+            for (const auto& statement : block.statements) {
+                if (!statement.array.empty())
+                    names.insert(statement.array);
+            }
+        }
+    }
+    return {names.begin(), names.end()};
+}
+
+std::vector<std::string>
+Program::loopWrittenArrays() const
+{
+    std::set<std::string> names;
+    for (const auto& op : loop.body.operations()) {
+        if (op.isStore() && op.memRef)
+            names.insert(loop.body.arrays()[op.memRef->array].name);
+    }
+    return {names.begin(), names.end()};
+}
+
+std::vector<std::string>
+Program::loopAccessedArrays() const
+{
+    std::set<std::string> names;
+    for (const auto& op : loop.body.operations()) {
+        if (op.memRef)
+            names.insert(loop.body.arrays()[op.memRef->array].name);
+    }
+    return {names.begin(), names.end()};
+}
+
+int
+Program::maxStride() const
+{
+    int stride = 1;
+    for (const auto& op : loop.body.operations()) {
+        if (op.memRef)
+            stride = std::max(stride, op.memRef->stride);
+    }
+    return stride;
+}
+
+int
+Program::maxBlockIndex() const
+{
+    int index = 0;
+    for (const auto* blocks : {&preBlocks, &postBlocks}) {
+        for (const auto& block : *blocks) {
+            for (const auto& statement : block.statements) {
+                if (!statement.array.empty())
+                    index = std::max(index, std::abs(statement.index));
+            }
+        }
+    }
+    return index;
+}
+
+} // namespace ims::program

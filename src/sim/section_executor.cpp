@@ -7,12 +7,10 @@
 
 namespace ims::sim {
 
-namespace {
-
-/** Execute one op instance for a concrete iteration. */
 void
-executeInstance(const ir::Loop& loop, const ir::Operation& op, int iter,
-                RegisterFile& registers, Memory& memory, bool store_phase)
+executeOpInstance(const ir::Loop& loop, const ir::Operation& op, int iter,
+                  RegisterFile& registers, Memory& memory,
+                  bool store_phase)
 {
     if (op.opcode == ir::Opcode::kBranch)
         return;
@@ -50,6 +48,8 @@ executeInstance(const ir::Loop& loop, const ir::Operation& op, int iter,
     registers.write(op.dest, iter, result);
 }
 
+namespace {
+
 /** Execute a section's cycles with a per-cycle iteration base mapping. */
 void
 executeSection(const ir::Loop& loop, const codegen::CodeSection& section,
@@ -63,7 +63,7 @@ executeSection(const ir::Loop& loop, const codegen::CodeSection& section,
                 const int iter = iteration_base + instance.iterationOffset;
                 if (iter < 0 || iter >= trip)
                     continue;
-                executeInstance(loop, loop.operation(instance.op), iter,
+                executeOpInstance(loop, loop.operation(instance.op), iter,
                                 registers, memory, store_phase);
             }
         }
@@ -151,7 +151,7 @@ runKernelOnly(const ir::Loop& loop, const codegen::KernelOnlyCode& code,
                     const int iter = rep - placement.stage;
                     if (iter < 0 || iter >= trip)
                         continue;
-                    executeInstance(loop, loop.operation(placement.op),
+                    executeOpInstance(loop, loop.operation(placement.op),
                                     iter, registers, memory, store_phase);
                 }
             }
@@ -159,10 +159,15 @@ runKernelOnly(const ir::Loop& loop, const codegen::KernelOnlyCode& code,
     }
 
     SimResult result{std::move(memory), {}, trip};
-    for (ir::RegId reg = 0; reg < loop.numRegisters(); ++reg) {
-        if (loop.definingOp(reg) >= 0) {
-            result.finalRegisters[loop.reg(reg).name] =
-                registers.read(reg, trip - 1);
+    // A zero-trip loop executed nothing: the sequential reference leaves
+    // finalRegisters empty, and reading iteration -1 here would surface
+    // seed values instead.
+    if (trip >= 1) {
+        for (ir::RegId reg = 0; reg < loop.numRegisters(); ++reg) {
+            if (loop.definingOp(reg) >= 0) {
+                result.finalRegisters[loop.reg(reg).name] =
+                    registers.read(reg, trip - 1);
+            }
         }
     }
     return result;

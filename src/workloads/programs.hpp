@@ -1,0 +1,45 @@
+#ifndef IMS_WORKLOADS_PROGRAMS_HPP
+#define IMS_WORKLOADS_PROGRAMS_HPP
+
+#include <string>
+#include <vector>
+
+#include "program/program.hpp"
+
+namespace ims::workloads {
+
+/** A named whole-program workload with its provenance tag. */
+struct ProgramWorkload
+{
+    program::Program program;
+    std::string description;
+};
+
+/**
+ * The named real-kernel program corpus: every entry is a full
+ * pre-loop / pipelined-loop / post-loop program (not a bare loop body)
+ * built around the kernel library's Livermore, stencil, reduction,
+ * IF-converted and WHILE-loop bodies, plus a frontend::RegionBuilder
+ * lowering. Names follow "prog.<kernel>"; the fuzzer, benches,
+ * ims-schedule --program and the CI equivalence smoke all draw from
+ * this list. Every program validates and runs end to end at any trip
+ * count (including 0).
+ */
+std::vector<ProgramWorkload> programLibrary();
+
+/** Corpus program by name; throws support::Error if unknown. */
+program::Program programByName(const std::string& name);
+
+/**
+ * Wrap a bare loop body as a minimal full program for differential
+ * fuzzing: identity live-in bindings, every in-loop register exported
+ * as an output "out.<reg>" (DO-loops only), the iteration count in
+ * "wrap.iters", a small independent pre-loop block and a post-loop
+ * block that stores the exported state to a fresh "wrap.out" array.
+ */
+program::Program wrapLoopAsProgram(ir::Loop loop,
+                                   const std::string& name);
+
+} // namespace ims::workloads
+
+#endif // IMS_WORKLOADS_PROGRAMS_HPP

@@ -3,6 +3,8 @@
 #include "core/pipeliner.hpp"
 #include "frontend/region_builder.hpp"
 #include "machine/cydra5.hpp"
+#include "program/program_compiler.hpp"
+#include "program/program_executor.hpp"
 #include "sim/pipeline_simulator.hpp"
 #include "sim/sequential_interpreter.hpp"
 #include "support/error.hpp"
@@ -216,6 +218,63 @@ TEST(RegionBuilderTest, RecurrenceCarryCopyAppended)
                  loop.reg(op.dest).name == "s");
     }
     EXPECT_TRUE(carry);
+}
+
+TEST(RegionBuilderTest, IfConvertedLoopCompilesAsFullProgram)
+{
+    // A RegionBuilder lowering dropped straight into the program-level
+    // driver: pre-loop setup, the if-converted loop, a post-loop block
+    // reading the exported reduction. Compiled execution must match the
+    // sequential reference at trips below and above the stage count.
+    program::Program p("frontend.sum_squares", sumPositiveSquares());
+    program::Block setup("setup");
+    setup.assign(Opcode::kMul, "scale", {program::v("k"), program::c(2.0)});
+    p.preBlocks.push_back(std::move(setup));
+    p.loop.outputs["sum"] = "s";
+    p.loop.itersVar = "iters";
+    program::Block tail("tail");
+    tail.assign(Opcode::kMul, "scaled", {program::v("sum"),
+                                         program::v("scale")});
+    tail.store("R", 0, program::v("scaled"));
+    p.postBlocks.push_back(std::move(tail));
+
+    const auto diagnostics = program::programEquivalenceDiagnostics(
+        p, machine::cydra5(), program::ProgramOptions{},
+        {0, 1, 2, 5, 17}, 41);
+    for (const auto& d : diagnostics)
+        ADD_FAILURE() << "[" << d.code << "] " << d.message;
+}
+
+TEST(RegionBuilderTest, WhileLoopCompilesAsFullProgram)
+{
+    // A WHILE loop (early exit) through the same driver: the compiled
+    // loop must fall back to the flat schedule and carry the exit point
+    // out through the iteration-count variable. RegionBuilder only
+    // handles hammocks, so the body comes from the loop builder.
+    ir::LoopBuilder b("find_first_negative");
+    b.recurrence("ax");
+    b.op(Opcode::kAddrAdd, "ax", {b.reg("ax", 3), b.imm(24)});
+    b.load("x", "X", 0, b.reg("ax"));
+    b.op(Opcode::kSub, "neg", {b.imm(0), b.reg("x")});
+    b.exitIf(b.reg("neg"));
+    b.store("Y", 0, b.reg("ax"), b.reg("x"));
+    b.closeLoopBackSubstituted();
+
+    program::Program p("frontend.find_negative", b.build());
+    p.loop.itersVar = "position";
+    program::Block tail("tail");
+    tail.store("R", 0, program::v("position"));
+    p.postBlocks.push_back(std::move(tail));
+
+    const auto result =
+        program::ProgramCompiler(machine::cydra5()).compile(p);
+    ASSERT_TRUE(result.ok()) << result.firstError();
+    EXPECT_TRUE(result.compiled->loop.isWhile);
+    const auto diagnostics = program::programEquivalenceDiagnostics(
+        p, machine::cydra5(), program::ProgramOptions{},
+        {0, 1, 2, 5, 17}, 43);
+    for (const auto& d : diagnostics)
+        ADD_FAILURE() << "[" << d.code << "] " << d.message;
 }
 
 } // namespace

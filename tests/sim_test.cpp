@@ -3,8 +3,10 @@
 #include "core/pipeliner.hpp"
 #include "ir/loop_builder.hpp"
 #include "machine/cydra5.hpp"
+#include "codegen/kernel_only.hpp"
 #include "sim/memory.hpp"
 #include "sim/pipeline_simulator.hpp"
+#include "sim/section_executor.hpp"
 #include "sim/sequential_interpreter.hpp"
 #include "sim/value.hpp"
 #include "support/error.hpp"
@@ -217,6 +219,52 @@ TEST(PipelineSimTest, MatchesSequentialOnEveryKernel)
             sim::runPipelined(w.loop, artifacts.outcome.schedule, spec);
         EXPECT_TRUE(sim::equivalent(seq, pipe.state)) << w.loop.name();
     }
+}
+
+TEST(PipelineSimTest, LowTripCountsMatchSequentialEverywhere)
+{
+    // Low-trip-count audit: every trip count below the stage count —
+    // including zero — through both pipelined execution schemas. A
+    // zero-trip loop must leave the final registers EMPTY like the
+    // sequential reference, not report seed values.
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    for (const char* name :
+         {"daxpy", "mem_recurrence", "tridiag", "cond_store"}) {
+        const auto w = workloads::kernelByName(name);
+        const auto artifacts =
+            pipeliner.pipeline(core::PipelineRequest(w.loop))
+                .artifactsOrThrow();
+        const auto kernel_only = codegen::generateKernelOnly(
+            w.loop, artifacts.outcome.schedule);
+        for (int trip = 0; trip < kernel_only.stageCount; ++trip) {
+            const auto spec = workloads::makeSimSpec(w.loop, trip, 23);
+            const auto seq = sim::runSequential(w.loop, spec);
+            const auto ko = sim::runKernelOnly(w.loop, kernel_only, spec);
+            EXPECT_TRUE(sim::equivalent(seq, ko))
+                << name << " kernel-only trip " << trip;
+            const auto pipe = sim::runPipelined(
+                w.loop, artifacts.outcome.schedule, spec);
+            EXPECT_TRUE(sim::equivalent(seq, pipe.state))
+                << name << " pipelined trip " << trip;
+        }
+    }
+}
+
+TEST(PipelineSimTest, ZeroTripKernelOnlyLeavesRegistersEmpty)
+{
+    const auto machine = machine::cydra5();
+    core::SoftwarePipeliner pipeliner(machine);
+    const auto w = workloads::kernelByName("dot_raw");
+    const auto artifacts =
+        pipeliner.pipeline(core::PipelineRequest(w.loop))
+            .artifactsOrThrow();
+    const auto kernel_only =
+        codegen::generateKernelOnly(w.loop, artifacts.outcome.schedule);
+    const auto spec = workloads::makeSimSpec(w.loop, 0, 23);
+    const auto ko = sim::runKernelOnly(w.loop, kernel_only, spec);
+    EXPECT_TRUE(ko.finalRegisters.empty());
+    EXPECT_TRUE(sim::runSequential(w.loop, spec).finalRegisters.empty());
 }
 
 TEST(PipelineSimTest, TripCountOfOneStillWorks)

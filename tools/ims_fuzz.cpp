@@ -26,11 +26,15 @@
  *   --trips <a,b,c>        sim-oracle trip counts (default 0,1,2,5,17)
  *   --scheduler <iterative|slack|exact>  scheduling backend the pipeline
  *                          under test uses (default iterative)
- *   --oracle <name>        enable an optional oracle class; currently
+ *   --oracle <name>        enable an optional oracle class:
  *                          "opt.ii_gap": re-pipeline each clean case with
  *                          the exact backend and report heuristic IIs
  *                          above the proven optimum (budget-exhausted
- *                          exact searches are skipped, not findings)
+ *                          exact searches are skipped, not findings);
+ *                          "program.equiv": wrap each case as a full
+ *                          program and require the whole-program driver
+ *                          (EC/LC control, compression, marshaling) to
+ *                          match the sequential reference at every trip
  *   --exact-budget <n>     exact-backend node budget per candidate II
  *   --ii-search <linear|racing>  II search strategy the pipeline under
  *                          test uses; racing must be bit-identical to
@@ -94,7 +98,7 @@ usage(int code)
            "                [--no-minimize] [--trips a,b,c] "
            "[--inject-delay-fault]\n"
            "                [--scheduler iterative|slack|exact] "
-           "[--oracle opt.ii_gap]\n"
+           "[--oracle opt.ii_gap|program.equiv]\n"
            "                [--exact-budget N]\n"
            "                [--ii-search linear|racing] "
            "[--ii-threads N]\n"
@@ -222,6 +226,8 @@ oracleOptions(const CliOptions& options)
     for (const auto& name : options.oracles) {
         if (name == "opt.ii_gap") {
             oracle.checkOptimality = true;
+        } else if (name == "program.equiv") {
+            oracle.checkProgramEquivalence = true;
         } else {
             std::cerr << "unknown oracle class '" << name << "'\n";
             usage(2);

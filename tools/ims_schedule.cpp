@@ -6,6 +6,7 @@
  * Usage:
  *   ims-schedule [options] <file.ir | ->...
  *   ims-schedule [options] --kernel <name>...
+ *   ims-schedule [options] --program <name|all>...
  *   ims-schedule --list-kernels
  *
  * Options:
@@ -31,6 +32,13 @@
  *                            several trip counts) and report violations
  *                            as structured diagnostics
  *   --quiet                  one summary line per loop only
+ *   --no-compress            disable pipeline compression (--program)
+ *
+ * With --program, the named corpus program (or every program with
+ * "all") goes through the whole-program driver: list-scheduled blocks,
+ * the modulo-scheduled loop under EC/LC control, and pipeline
+ * compression. --listing prints the linear program, --verify runs the
+ * compiled-vs-sequential equivalence oracle at several trip counts.
  */
 #include <cstring>
 #include <fstream>
@@ -46,9 +54,12 @@
 #include "ir/parser.hpp"
 #include "machine/cydra5.hpp"
 #include "machine/machines.hpp"
+#include "program/program_compiler.hpp"
+#include "program/program_executor.hpp"
 #include "sim/pipeline_simulator.hpp"
 #include "sim/sequential_interpreter.hpp"
 #include "workloads/kernels.hpp"
+#include "workloads/programs.hpp"
 
 namespace {
 
@@ -71,8 +82,10 @@ struct CliOptions
     int simulateTrip = 0;
     bool quiet = false;
     bool listKernels = false;
+    bool compress = true;
     std::vector<std::string> files;
     std::vector<std::string> kernels;
+    std::vector<std::string> programs;
 };
 
 [[noreturn]] void
@@ -80,14 +93,14 @@ usage(int code)
 {
     std::cerr
         << "usage: ims-schedule [options] <file.ir|->... | --kernel "
-           "<name>... | --list-kernels\n"
+           "<name>... | --program <name|all>... | --list-kernels\n"
            "  --machine cydra5|clean64|wide-vliw|scalar-toy\n"
            "  --scheduler iterative|slack|exact  --exact-budget <n>\n"
            "  --budget-ratio <r>   --priority "
            "heightr|slack|source-order|random\n"
            "  --ii-search linear|racing  --ii-threads <n>\n"
            "  --listing  --kernel-only  --trace  --telemetry  "
-           "--simulate <trip>  --verify  --quiet\n";
+           "--simulate <trip>  --verify  --quiet  --no-compress\n";
     std::exit(code);
 }
 
@@ -166,6 +179,10 @@ parseArgs(int argc, char** argv)
             options.listKernels = true;
         else if (arg == "--kernel")
             options.kernels.push_back(next("a kernel name"));
+        else if (arg == "--program")
+            options.programs.push_back(next("a program name"));
+        else if (arg == "--no-compress")
+            options.compress = false;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -289,6 +306,87 @@ processLoop(const ir::Loop& loop, const CliOptions& options,
     return 0;
 }
 
+int
+processProgram(const program::Program& prog, const CliOptions& options,
+               const machine::MachineModel& machine)
+{
+    core::PipelinerOptions pipeline_options;
+    pipeline_options.schedule.search.budgetRatio = options.budgetRatio;
+    const auto search_kind = sched::iiSearchKindByName(options.iiSearch);
+    if (search_kind)
+        pipeline_options.withIiSearch(*search_kind, options.iiThreads);
+    const auto strategy =
+        sched::schedulerStrategyByName(options.scheduler);
+    if (strategy)
+        pipeline_options.withScheduler(*strategy)
+            .withExactNodeBudget(options.exactBudget);
+    pipeline_options.schedule.priority = priorityByName(options.priority);
+    const auto program_options = program::ProgramOptions{}
+                                     .withPipeline(pipeline_options)
+                                     .withCompression(options.compress);
+
+    const program::ProgramCompiler compiler(machine, program_options);
+    const auto result = compiler.compile(prog);
+    if (!result.ok()) {
+        for (const auto& diagnostic : result.diagnostics) {
+            if (diagnostic.severity != core::Diagnostic::Severity::kError)
+                continue;
+            std::cerr << prog.name << ": error [" << diagnostic.phase
+                      << "]";
+            if (!diagnostic.code.empty())
+                std::cerr << " <" << diagnostic.code << ">";
+            std::cerr << ": " << diagnostic.message << "\n";
+        }
+        return 1;
+    }
+    const auto& compiled = *result.compiled;
+
+    if (options.quiet) {
+        std::cout << result.toJson() << "\n";
+    } else {
+        std::cout << "program " << prog.name << " on "
+                  << options.machine << ":\n";
+        for (const auto& section : result.sections) {
+            std::cout << "  " << section.kind << " '" << section.name
+                      << "': " << section.ops << " ops, "
+                      << section.cycles << " cycles";
+            if (section.kind == "loop")
+                std::cout << ", II=" << section.ii
+                          << ", stages=" << section.stageCount
+                          << (compiled.loop.isWhile ? " (WHILE)" : "");
+            std::cout << "\n";
+        }
+        std::cout << "  compression: prologue overlap "
+                  << compiled.prologueOverlap << " cycles, epilogue "
+                  << "overlap " << compiled.epilogueOverlap
+                  << " cycles\n"
+                  << "  cycles at trip 17: " << compiled.compiledCycles(17)
+                  << " compressed vs " << compiled.naiveCycles(17)
+                  << " naive\n";
+    }
+    if (options.telemetry)
+        std::cout << result.toJson() << "\n";
+    if (options.listing)
+        std::cout << program::emitProgram(compiled);
+    if (options.verify || options.simulateTrip > 0) {
+        std::vector<int> trips = {0, 1, 2, 5, 17};
+        if (options.simulateTrip > 0)
+            trips.push_back(options.simulateTrip);
+        const auto diagnostics = program::programEquivalenceDiagnostics(
+            prog, machine, program_options, trips, 1);
+        for (const auto& diagnostic : diagnostics)
+            std::cerr << prog.name << ": <" << diagnostic.code << "> "
+                      << diagnostic.message << "\n";
+        if (!diagnostics.empty())
+            return 1;
+        std::cout << "equivalence: compiled == sequential at trips {";
+        for (std::size_t i = 0; i < trips.size(); ++i)
+            std::cout << (i ? "," : "") << trips[i];
+        std::cout << "}\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -301,9 +399,15 @@ main(int argc, char** argv)
             std::cout << w.loop.name() << "  (" << w.loop.size()
                       << " ops): " << w.description << "\n";
         }
+        for (const auto& entry : workloads::programLibrary()) {
+            std::cout << entry.program.name << "  (program, "
+                      << entry.program.loop.body.size()
+                      << "-op loop): " << entry.description << "\n";
+        }
         return 0;
     }
-    if (options.files.empty() && options.kernels.empty())
+    if (options.files.empty() && options.kernels.empty() &&
+        options.programs.empty())
         usage(2);
 
     const auto machine = machineByName(options.machine);
@@ -312,6 +416,16 @@ main(int argc, char** argv)
         for (const auto& name : options.kernels) {
             status |= processLoop(workloads::kernelByName(name).loop,
                                   options, machine);
+        }
+        for (const auto& name : options.programs) {
+            if (name == "all") {
+                for (const auto& entry : workloads::programLibrary())
+                    status |=
+                        processProgram(entry.program, options, machine);
+            } else {
+                status |= processProgram(workloads::programByName(name),
+                                         options, machine);
+            }
         }
         for (const auto& file : options.files) {
             status |= processLoop(ir::parseLoop(readFile(file)), options,
