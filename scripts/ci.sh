@@ -56,6 +56,14 @@ if [ "${IMS_CI_SKIP_FUZZ:-0}" != "1" ]; then
     build/tools/ims-fuzz --seed 20260806 --cases "${FUZZ_BUDGET:-500}" \
         --ii-search racing --ii-threads 2 \
         --repro-dir build/fuzz-repro --out build/fuzz-report.json
+    # Feedback-search smoke: same oracle stack with the feedback-guided
+    # II search, so the sim-equivalence oracles double as a soundness
+    # check for the probe's skip proofs (an unsound skip would change
+    # the winning II and diverge from the sequential reference).
+    build/tools/ims-fuzz --seed 20260808 \
+        --cases "${FEEDBACK_FUZZ_BUDGET:-200}" \
+        --ii-search feedback \
+        --repro-dir build/fuzz-repro --out build/fuzz-feedback-report.json
     # Optimality smoke: re-pipeline each clean case with the exact
     # backend (capped node budget; budget-exhausted searches are
     # skipped). opt.ii_gap findings are *known heuristic quality gaps*

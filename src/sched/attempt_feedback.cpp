@@ -1,0 +1,53 @@
+#include "sched/attempt_feedback.hpp"
+
+#include <algorithm>
+
+#include "sched/mrt.hpp"
+#include "support/counters.hpp"
+
+namespace ims::sched {
+
+void
+AttemptCounters::flushInto(support::Counters& counters,
+                           const ModuloReservationTable& mrt) const
+{
+    counters.estartPredecessorVisits += estartVisits;
+    counters.estartIncrementalHits += estartIncrementalHits;
+    counters.findTimeSlotProbes += slotProbes;
+    counters.scheduleSteps += scheduleSteps;
+    counters.unscheduleSteps += unscheduleSteps;
+    counters.mrtMaskProbes += mrt.maskProbes();
+    counters.mrtSlotScans += mrt.slotScans();
+}
+
+std::vector<graph::VertexId>
+AttemptFeedback::bottleneck(int cap) const
+{
+    std::vector<graph::VertexId> picked;
+    if (cap <= 0)
+        return picked;
+    picked.reserve(static_cast<std::size_t>(cap));
+    const auto push = [&](graph::VertexId v) {
+        if (static_cast<int>(picked.size()) >= cap)
+            return;
+        if (std::find(picked.begin(), picked.end(), v) == picked.end())
+            picked.push_back(v);
+    };
+    for (graph::VertexId v : unplaceable)
+        push(v);
+    for (const Displacement& d : displacements)
+        push(d.op);
+    return picked;
+}
+
+void
+AttemptFeedback::clear()
+{
+    ii = 0;
+    status = AttemptStatus::kBudgetExhausted;
+    unplaceable.clear();
+    displacements.clear();
+    contendedResources.clear();
+}
+
+} // namespace ims::sched

@@ -6,46 +6,16 @@
 #include <vector>
 
 #include "graph/dep_graph.hpp"
+#include "sched/attempt_feedback.hpp"
 #include "sched/iterative_scheduler.hpp"
 #include "sched/partial_schedule.hpp"
 #include "support/counters.hpp"
 
 namespace ims::sched {
 
-/**
- * Per-attempt instrumentation shared by the iterative and slack
- * schedulers: plain members bumped on the hot path, flushed once per
- * attempt into the unified support::Counters (the hot loop never touches
- * the shared struct). Both schedulers used to carry a private copy of
- * these fields; this is the single owner.
- */
-struct AttemptStats
-{
-    /** Predecessor/vertex examinations while computing Estart windows. */
-    std::uint64_t estartVisits = 0;
-    /** Estart queries answered from the incremental cache, no rescan. */
-    std::uint64_t estartIncrementalHits = 0;
-    /** Time slots examined by FindTimeSlot. */
-    std::uint64_t slotProbes = 0;
-    /** Operation scheduling steps performed. */
-    std::uint64_t scheduleSteps = 0;
-    /** Operations displaced from the schedule. */
-    std::uint64_t unscheduleSteps = 0;
-
-    /** One batched delta per attempt into the unified counters. */
-    void
-    flushInto(support::Counters& counters,
-              const ModuloReservationTable& mrt) const
-    {
-        counters.estartPredecessorVisits += estartVisits;
-        counters.estartIncrementalHits += estartIncrementalHits;
-        counters.findTimeSlotProbes += slotProbes;
-        counters.scheduleSteps += scheduleSteps;
-        counters.unscheduleSteps += unscheduleSteps;
-        counters.mrtMaskProbes += mrt.maskProbes();
-        counters.mrtSlotScans += mrt.slotScans();
-    }
-};
+// The per-attempt instrumentation struct (formerly AttemptStats) moved
+// to sched/attempt_feedback.hpp as AttemptCounters, next to the rest of
+// the strategy-neutral attempt vocabulary.
 
 /**
  * Incremental Estart maintenance for Figure 5(b): per-op cached Estart
@@ -80,7 +50,7 @@ class EstartTracker
 {
   public:
     EstartTracker(const graph::DepGraph& graph,
-                  const PartialSchedule& schedule, AttemptStats& stats)
+                  const PartialSchedule& schedule, AttemptCounters& stats)
         : graph_(graph),
           schedule_(schedule),
           stats_(stats),
@@ -142,7 +112,7 @@ class EstartTracker
   private:
     const graph::DepGraph& graph_;
     const PartialSchedule& schedule_;
-    AttemptStats& stats_;
+    AttemptCounters& stats_;
     int ii_;
     std::vector<std::int32_t> estart_;
     std::vector<std::uint8_t> dirty_;
@@ -206,6 +176,20 @@ ScheduleResult extractScheduleResult(const PartialSchedule& schedule,
                                      const graph::DepGraph& graph, int ii,
                                      std::int64_t steps_used,
                                      std::int64_t unschedules);
+
+/**
+ * Build a failed attempt's AttemptFeedback report (shared by the
+ * iterative and slack backends): the unplaceable operations at this II,
+ * the displacement storm sorted by count descending then id ascending,
+ * and the contended resource classes sorted by forced-eviction count —
+ * all pure functions of the attempt, so the report is deterministic.
+ * Successful and cancelled attempts leave the report cleared.
+ */
+void finalizeAttemptFeedback(
+    AttemptFeedback& feedback, int ii, AttemptStatus status,
+    const PartialSchedule& schedule, const graph::DepGraph& graph,
+    const std::vector<std::int32_t>& displace_count,
+    const std::vector<std::int64_t>& resource_evictions);
 
 } // namespace ims::sched
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mii/mii.hpp"
+#include "sched/feedback_probe.hpp"
 #include "sched/partial_schedule.hpp"
 #include "sched/schedule.hpp"
 #include "support/error.hpp"
@@ -416,6 +417,25 @@ runExactSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
     const int workers =
         strategy->plannedWorkers(options.search.maxIiIncrease + 1);
 
+    // Feedback strategy plumbing. The exact backend tracks no
+    // displacement storm — its failures are exhaustive-search proofs —
+    // so its reports carry only the operations with no usable
+    // reservation alternative at the failed II; when an infeasible II
+    // has none of those (a pure recurrence/resource interaction), the
+    // report is inconclusive and the walk proceeds exactly like linear.
+    const bool wants_feedback =
+        options.search.kind == IiSearchKind::kFeedback;
+    std::optional<FeedbackProbe> prober;
+    IiInfeasibilityProbe probe;
+    if (wants_feedback && options.search.feedbackSkipInfeasible) {
+        prober.emplace(loop, machine, graph, sccs,
+                       options.search.feedbackSubgraphCap,
+                       options.search.feedbackProbeBudget);
+        probe = [&prober](int ii, const AttemptFeedback& feedback) {
+            return (*prober)(ii, feedback);
+        };
+    }
+
     struct WorkerState
     {
         support::Counters counters;
@@ -437,6 +457,14 @@ runExactSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
                 state.scheduler->trySchedule(ii, budget, &cancel, &status);
             out.status = status;
             out.counters = state.counters;
+            if (wants_feedback) {
+                out.feedback.ii = ii;
+                out.feedback.status = status;
+                if (status == AttemptStatus::kInfeasible) {
+                    out.feedback.unplaceable =
+                        collectUnplaceableOps(loop, machine, ii);
+                }
+            }
             if (status == AttemptStatus::kBudgetExhausted) {
                 // An undecided candidate breaks the optimality chain: the
                 // first feasible II is provably optimal only while every
@@ -455,8 +483,8 @@ runExactSchedule(const ir::Loop& loop, const machine::MachineModel& machine,
         };
 
     ModuloScheduleOutcome outcome = runIiSearch(
-        options.search, mii.resMii, mii.mii, budget, attempt, counters,
-        options.telemetry, [&] {
+        options.search, mii.resMii, mii.mii, budget, attempt, probe,
+        counters, options.telemetry, [&] {
             return "exact scheduler proved no schedule exists for loop '" +
                    loop.name() + "' within " +
                    std::to_string(options.search.maxIiIncrease) +

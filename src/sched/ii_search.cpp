@@ -39,16 +39,30 @@ secondsSince(std::chrono::steady_clock::time_point start)
  * to (deterministic) failure, and the winner's attempt always runs to
  * success. The prefix [minIi, winner] therefore reproduces the linear
  * search exactly; everything at higher IIs is discarded speculation.
+ *
+ * The feedback strategy adds a pre-claim skip: with a non-null `probe`
+ * (single worker only — a probe decision depends on the full attempt
+ * history, which concurrent claims would make timing-dependent), each
+ * claimed candidate is first offered to the probe together with the most
+ * recent failed attempt's feedback report; a proven-infeasible candidate
+ * is marked skipped and never attempted. Soundness of the proof is the
+ * probe's contract, and it is what preserves the determinism argument:
+ * a skipped II is exactly one the linear walk would have attempted and
+ * failed, so the winner and everything derived from it are unchanged.
  */
 IiSearchResult
-runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
+runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt,
+        const IiInfeasibilityProbe* probe = nullptr)
 {
     assert(min_ii <= max_ii);
+    assert((probe == nullptr || workers == 1) &&
+           "feedback skipping requires the single-worker walk");
     const int candidates = max_ii - min_ii + 1;
 
     struct Slot
     {
         bool started = false;
+        bool skipped = false;
         double seconds = 0.0;
         IiAttemptOutcome outcome;
         std::exception_ptr error;
@@ -104,6 +118,10 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
     support::CancellationToken token;
     std::atomic<int> cursor{min_ii};
 
+    // Feedback state (single-worker only): the report of the most recent
+    // failed attempt, offered to the probe before each claim is run.
+    const AttemptFeedback* last_feedback = nullptr;
+
     const auto search_start = std::chrono::steady_clock::now();
     const auto body = [&](int worker) {
         while (true) {
@@ -114,6 +132,25 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
             if (ii > max_ii || token.cancelled(ii))
                 return;
             Slot& slot = slot_at(ii - min_ii);
+            if (probe != nullptr && last_feedback != nullptr &&
+                last_feedback->conclusive()) {
+                const auto probe_start = std::chrono::steady_clock::now();
+                bool proven = false;
+                try {
+                    proven = (*probe)(ii, *last_feedback);
+                } catch (...) {
+                    slot.error = std::current_exception();
+                    slot.seconds = secondsSince(probe_start);
+                    slot.started = true;
+                    return;
+                }
+                if (proven) {
+                    slot.skipped = true;
+                    slot.seconds = secondsSince(probe_start);
+                    slot.outcome.status = AttemptStatus::kInfeasible;
+                    continue;
+                }
+            }
             slot.started = true;
             const auto attempt_start = std::chrono::steady_clock::now();
             try {
@@ -130,8 +167,12 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
                 return;
             }
             slot.seconds = secondsSince(attempt_start);
-            if (slot.outcome.schedule.has_value())
+            if (slot.outcome.schedule.has_value()) {
                 token.lowerCeiling(ii);
+            } else if (probe != nullptr &&
+                       slot.outcome.status != AttemptStatus::kCancelled) {
+                last_feedback = &slot.outcome.feedback;
+            }
         }
     };
 
@@ -182,6 +223,18 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
             i += kSlotChunk - 1 - i % kSlotChunk;
             continue;
         }
+        if (slot->skipped) {
+            // A probe-proven skip: record it (status kInfeasible, seconds
+            // = probe time) but fold no counters and count no attempt —
+            // the whole point is that no attempt ran. It does not count
+            // toward attemptsProvenInfeasible either, which stays "prefix
+            // *attempts* that ended kInfeasible" across strategies.
+            ++result.skippedIis;
+            result.records.push_back({min_ii + i, false,
+                                      AttemptStatus::kInfeasible,
+                                      slot->seconds, /*skipped=*/true});
+            continue;
+        }
         if (!slot->started)
             continue;
         assert(slot->outcome.status != AttemptStatus::kCancelled);
@@ -190,7 +243,8 @@ runRace(int min_ii, int max_ii, int workers, const IiAttemptFn& attempt)
             ++result.attemptsProvenInfeasible;
         result.records.push_back({min_ii + i,
                                   slot->outcome.schedule.has_value(),
-                                  slot->outcome.status, slot->seconds});
+                                  slot->outcome.status, slot->seconds,
+                                  /*skipped=*/false});
     }
     if (winner >= 0)
         result.schedule = std::move(peek_slot(winner)->outcome.schedule);
@@ -229,7 +283,8 @@ class LinearIiSearch final : public IiSearchStrategy
     }
 
     IiSearchResult
-    search(int min_ii, int max_ii, const IiAttemptFn& attempt) const override
+    search(int min_ii, int max_ii, const IiAttemptFn& attempt,
+           const IiInfeasibilityProbe& /*probe*/) const override
     {
         return runRace(min_ii, max_ii, 1, attempt);
     }
@@ -255,7 +310,8 @@ class RacingIiSearch final : public IiSearchStrategy
     }
 
     IiSearchResult
-    search(int min_ii, int max_ii, const IiAttemptFn& attempt) const override
+    search(int min_ii, int max_ii, const IiAttemptFn& attempt,
+           const IiInfeasibilityProbe& /*probe*/) const override
     {
         return runRace(min_ii, max_ii,
                        plannedWorkers(max_ii - min_ii + 1), attempt);
@@ -263,6 +319,45 @@ class RacingIiSearch final : public IiSearchStrategy
 
   private:
     int threads_;
+};
+
+/**
+ * The linear walk plus probe-driven skipping (see the engine comment and
+ * ii_search.hpp). Single-worker by design: a skip decision reads the
+ * full attempt history, which concurrent claims would make
+ * timing-dependent and break the deterministic-prefix contract.
+ */
+class FeedbackIiSearch final : public IiSearchStrategy
+{
+  public:
+    explicit FeedbackIiSearch(bool skip_infeasible)
+        : skipInfeasible_(skip_infeasible)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "feedback";
+    }
+
+    int
+    plannedWorkers(int /*candidates*/) const override
+    {
+        return 1;
+    }
+
+    IiSearchResult
+    search(int min_ii, int max_ii, const IiAttemptFn& attempt,
+           const IiInfeasibilityProbe& probe) const override
+    {
+        const bool use_probe = skipInfeasible_ && probe != nullptr;
+        return runRace(min_ii, max_ii, 1, attempt,
+                       use_probe ? &probe : nullptr);
+    }
+
+  private:
+    bool skipInfeasible_;
 };
 
 } // namespace
@@ -291,6 +386,8 @@ iiSearchKindName(IiSearchKind kind)
         return "linear";
       case IiSearchKind::kRacing:
         return "racing";
+      case IiSearchKind::kFeedback:
+        return "feedback";
     }
     return "?";
 }
@@ -302,6 +399,8 @@ iiSearchKindByName(std::string_view name)
         return IiSearchKind::kLinear;
     if (name == "racing")
         return IiSearchKind::kRacing;
+    if (name == "feedback")
+        return IiSearchKind::kFeedback;
     return std::nullopt;
 }
 
@@ -311,11 +410,18 @@ makeIiSearchStrategy(const IiSearchOptions& options)
     support::check(options.budgetRatio > 0, "BudgetRatio must be positive");
     support::check(options.maxIiIncrease >= 0,
                    "maxIiIncrease must be non-negative");
+    support::check(options.feedbackSubgraphCap > 0,
+                   "feedbackSubgraphCap must be positive");
+    support::check(options.feedbackProbeBudget > 0,
+                   "feedbackProbeBudget must be positive");
     switch (options.kind) {
       case IiSearchKind::kLinear:
         return std::make_unique<LinearIiSearch>();
       case IiSearchKind::kRacing:
         return std::make_unique<RacingIiSearch>(options.threads);
+      case IiSearchKind::kFeedback:
+        return std::make_unique<FeedbackIiSearch>(
+            options.feedbackSkipInfeasible);
     }
     throw support::Error("unknown II search kind");
 }

@@ -29,14 +29,26 @@ namespace ims::sched {
  * — and every statistic derived from the deterministic prefix
  * [mii, winner] — is bit-identical to the linear search regardless of
  * thread count or timing.
+ *
+ * Feedback walks the candidates sequentially like linear, but mines each
+ * failed attempt's AttemptFeedback report: before attempting the next
+ * candidate it asks an infeasibility probe (the exact backend run on the
+ * bottleneck subgraph of the failed attempts) whether the candidate is
+ * *provably* impossible, and skips it without attempting when so. A
+ * skipped II is one the linear search would have attempted and failed,
+ * so the winner — and the winning schedule, a pure function of the
+ * winning II — is bit-identical to linear; when the probe is
+ * inconclusive the strategy degenerates to exactly the linear walk. See
+ * docs/ALGORITHM.md, "Feedback-guided search".
  */
 enum class IiSearchKind
 {
     kLinear,
     kRacing,
+    kFeedback,
 };
 
-/** Stable lowercase name ("linear", "racing"). */
+/** Stable lowercase name ("linear", "racing", "feedback"). */
 std::string iiSearchKindName(IiSearchKind kind);
 
 /** Inverse of iiSearchKindName; nullopt for unknown names. */
@@ -61,8 +73,24 @@ struct IiSearchOptions
     /** Safety bound on II above the MII before giving up entirely. */
     int maxIiIncrease = 4096;
     /** Racing worker count; <= 0 means hardware concurrency. Ignored by
-     *  the linear strategy. */
+     *  the linear and feedback strategies (both are single-worker; see
+     *  docs/ALGORITHM.md on why feedback skipping cannot race). */
     int threads = 0;
+    /**
+     * Feedback strategy: at most this many operations in the bottleneck
+     * subgraph handed to the infeasibility probe. Unplaceable operations
+     * are picked first, then displacement-storm vertices; the probe
+     * closes the set under dependence SCCs up to the cap. Small caps keep
+     * the exact probe cheap; the probe is skipped entirely when the
+     * feedback so far is inconclusive.
+     */
+    int feedbackSubgraphCap = 12;
+    /** Feedback strategy: skip candidate IIs the probe proves infeasible
+     *  (the strategy equals linear exactly when disabled). */
+    bool feedbackSkipInfeasible = true;
+    /** Feedback strategy: branch-and-bound node budget per probe call; an
+     *  exhausted probe counts as inconclusive (no skip). */
+    std::int64_t feedbackProbeBudget = 200'000;
 
     IiSearchOptions&
     withKind(IiSearchKind k)
@@ -91,6 +119,27 @@ struct IiSearchOptions
         threads = t;
         return *this;
     }
+
+    IiSearchOptions&
+    withFeedbackSubgraphCap(int cap)
+    {
+        feedbackSubgraphCap = cap;
+        return *this;
+    }
+
+    IiSearchOptions&
+    withFeedbackSkipInfeasible(bool skip)
+    {
+        feedbackSkipInfeasible = skip;
+        return *this;
+    }
+
+    IiSearchOptions&
+    withFeedbackProbeBudget(std::int64_t budget)
+    {
+        feedbackProbeBudget = budget;
+        return *this;
+    }
 };
 
 /** Stable lowercase name of an AttemptStatus ("scheduled", ...). */
@@ -111,6 +160,13 @@ struct IiAttemptOutcome
     std::optional<ScheduleResult> schedule;
     AttemptStatus status = AttemptStatus::kBudgetExhausted;
     support::Counters counters;
+    /**
+     * The attempt's bottleneck report (sched/attempt_feedback.hpp). Every
+     * backend populates it when the search strategy consumes feedback
+     * (the driver passes the backend a sink iff the strategy asks);
+     * otherwise it stays empty and costs nothing.
+     */
+    AttemptFeedback feedback;
 };
 
 /**
@@ -124,6 +180,19 @@ struct IiAttemptOutcome
 using IiAttemptFn = std::function<IiAttemptOutcome(
     int ii, int worker, const support::CancellationToken& cancel)>;
 
+/**
+ * Infeasibility probe for the feedback strategy: given the next
+ * candidate II and the most recent failed attempt's feedback report,
+ * return true iff the candidate is *proven* infeasible (so the search
+ * may skip it without attempting). Soundness is the caller's obligation
+ * — a skip without a proof would desynchronise the feedback search from
+ * linear. The probe is invoked sequentially from the single feedback
+ * worker, so it may keep mutable state (the accumulated bottleneck
+ * subgraph) without locking.
+ */
+using IiInfeasibilityProbe =
+    std::function<bool(int ii, const AttemptFeedback& feedback)>;
+
 /** One candidate II of the deterministic prefix, for telemetry. */
 struct IiAttemptRecord
 {
@@ -134,6 +203,10 @@ struct IiAttemptRecord
     AttemptStatus status = AttemptStatus::kBudgetExhausted;
     /** Wall time of the attempt (nondeterministic; observability only). */
     double seconds = 0.0;
+    /** True when the feedback strategy skipped this candidate: the probe
+     *  proved it infeasible and no attempt ran (`status` is kInfeasible,
+     *  `seconds` is the probe time). Always false for linear/racing. */
+    bool skipped = false;
 };
 
 /** What a strategy's search() returns. */
@@ -162,6 +235,14 @@ struct IiSearchResult
      * has no usable alternative at that II.
      */
     int attemptsProvenInfeasible = 0;
+    /**
+     * Prefix candidates the feedback strategy skipped because the probe
+     * proved them infeasible (subset of searchedIis; their records carry
+     * `skipped`). Deterministic — the single feedback worker's skip
+     * decisions are a pure function of the attempt history. Always 0 for
+     * linear/racing.
+     */
+    int skippedIis = 0;
 
     // Everything below is observability for the race itself and is NOT
     // deterministic (it depends on thread scheduling): speculative
@@ -191,7 +272,7 @@ class IiSearchStrategy
   public:
     virtual ~IiSearchStrategy() = default;
 
-    /** Stable strategy name ("linear", "racing"). */
+    /** Stable strategy name ("linear", "racing", "feedback"). */
     virtual std::string name() const = 0;
 
     /**
@@ -201,9 +282,22 @@ class IiSearchStrategy
      */
     virtual int plannedWorkers(int candidates) const = 0;
 
-    /** Search [minIi, maxIi] (inclusive) for the lowest feasible II. */
+    /**
+     * Search [minIi, maxIi] (inclusive) for the lowest feasible II.
+     * `probe` is consumed by the feedback strategy only (linear and
+     * racing ignore it); an empty probe makes feedback degenerate to the
+     * linear walk.
+     */
     virtual IiSearchResult search(int minIi, int maxIi,
-                                  const IiAttemptFn& attempt) const = 0;
+                                  const IiAttemptFn& attempt,
+                                  const IiInfeasibilityProbe& probe) const = 0;
+
+    /** Convenience overload without a probe. */
+    IiSearchResult
+    search(int min_ii, int max_ii, const IiAttemptFn& attempt) const
+    {
+        return search(min_ii, max_ii, attempt, IiInfeasibilityProbe{});
+    }
 };
 
 /** Build the strategy selected by `options`. */

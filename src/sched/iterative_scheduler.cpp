@@ -15,7 +15,7 @@ namespace {
  * Working state of one attempt; separated from IterativeScheduler so the
  * scheduler object itself stays reusable across IIs.
  *
- * The attempt keeps its instrumentation in an AttemptStats instead of
+ * The attempt keeps its instrumentation in an AttemptCounters instead of
  * bumping a support::Counters* on every inner-loop iteration; the
  * scheduler flushes one batched delta per attempt into the unified
  * telemetry counters (see IterativeScheduler::trySchedule).
@@ -43,6 +43,12 @@ class Attempt
           estart_(graph, schedule_, stats_),
           ready_(priority)
     {
+        if (options.feedback != nullptr) {
+            displaceCount_.assign(
+                static_cast<std::size_t>(graph.numVertices()), 0);
+            resourceEvictions_.assign(
+                static_cast<std::size_t>(machine.numResources()), 0);
+        }
     }
 
     /** Runs Figure 3's main loop. Returns true if fully scheduled. */
@@ -110,6 +116,24 @@ class Attempt
         return false;
     }
 
+    /**
+     * Write the attempt's bottleneck report into options.feedback (when
+     * set): the unplaceable operations, the displacement storm sorted by
+     * count descending (then id, so the report is a pure function of the
+     * attempt), and the resource classes whose occupancy forced
+     * evictions. Successful and cancelled attempts leave the sink
+     * cleared — a cancelled attempt is abandoned speculation and must
+     * not steer the search.
+     */
+    void
+    flushFeedback()
+    {
+        if (options_.feedback == nullptr)
+            return;
+        finalizeAttemptFeedback(*options_.feedback, ii_, status_, schedule_,
+                                graph_, displaceCount_, resourceEvictions_);
+    }
+
     AttemptStatus status() const { return status_; }
     std::int64_t
     stepsUsed() const
@@ -121,7 +145,7 @@ class Attempt
     {
         return static_cast<std::int64_t>(stats_.unscheduleSteps);
     }
-    const AttemptStats& stats() const { return stats_; }
+    const AttemptCounters& stats() const { return stats_; }
     const PartialSchedule& schedule() const { return schedule_; }
 
   private:
@@ -203,6 +227,22 @@ class Attempt
                 conflictScratch_);
             if (options_.trace != nullptr)
                 resourceDisplacedThisStep_ = conflictScratch_;
+            if (options_.feedback != nullptr && !conflictScratch_.empty()) {
+                // Charge the forced evictions to the chosen alternative's
+                // resource classes, once per distinct resource.
+                const auto& uses =
+                    schedule_.alternativesOf(op)[alternative].table.uses();
+                for (std::size_t i = 0; i < uses.size(); ++i) {
+                    bool seen = false;
+                    for (std::size_t j = 0; j < i && !seen; ++j)
+                        seen = uses[j].resource == uses[i].resource;
+                    if (!seen) {
+                        resourceEvictions_[uses[i].resource] +=
+                            static_cast<std::int64_t>(
+                                conflictScratch_.size());
+                    }
+                }
+            }
             for (int victim : conflictScratch_)
                 displace(victim);
             assert(schedule_.fittingAlternative(op, slot) == alternative &&
@@ -230,6 +270,8 @@ class Attempt
         estart_.onRemove(victim);
         ready_.push(victim);
         ++stats_.unscheduleSteps;
+        if (options_.feedback != nullptr)
+            ++displaceCount_[victim];
         if (options_.trace != nullptr)
             displacedThisStep_.push_back(victim);
     }
@@ -240,12 +282,16 @@ class Attempt
     int ii_;
     const support::CancellationToken* cancel_;
     AttemptStatus status_ = AttemptStatus::kBudgetExhausted;
-    AttemptStats stats_;
+    AttemptCounters stats_;
     PartialSchedule schedule_;
     EstartTracker estart_;
     ReadyQueue ready_;
     /** Scratch for forced-placement conflict queries (no per-call alloc). */
     std::vector<int> conflictScratch_;
+    /** Feedback-only (empty when options.feedback is null): displacement
+     *  count per vertex and forced evictions charged per resource. */
+    std::vector<std::int32_t> displaceCount_;
+    std::vector<std::int64_t> resourceEvictions_;
     std::vector<graph::VertexId> displacedThisStep_;
     std::vector<graph::VertexId> resourceDisplacedThisStep_;
 };
@@ -282,6 +328,7 @@ IterativeScheduler::trySchedule(int ii, std::int64_t budget,
     const bool success = attempt.run(budget);
     if (status != nullptr)
         *status = attempt.status();
+    attempt.flushFeedback();
 
     // One batched delta per attempt feeds the unified telemetry counters
     // (and, through the pipeliner's end-of-run onCounters, every

@@ -10,6 +10,7 @@
 #include "ir/loop.hpp"
 #include "machine/compiled_reservations.hpp"
 #include "machine/machine_model.hpp"
+#include "sched/attempt_feedback.hpp"
 #include "sched/priority.hpp"
 #include "support/cancellation.hpp"
 #include "support/counters.hpp"
@@ -17,35 +18,10 @@
 
 namespace ims::sched {
 
-/**
- * One operation-scheduling step, for tracing/visualising the algorithm
- * (the moving parts of Figures 2-5: the chosen operation and its
- * priority, the Estart computation, the FindTimeSlot range and outcome,
- * and any displacements).
- */
-struct TraceEvent
-{
-    int step = 0;
-    graph::VertexId op = -1;
-    std::int64_t priority = 0;
-    int estart = 0;
-    int minTime = 0;
-    int maxTime = 0;
-    /** Chosen slot. */
-    int slot = 0;
-    /** Chosen alternative. */
-    int alternative = 0;
-    /** True when no conflict-free slot existed (forced placement). */
-    bool forced = false;
-    /** Operations displaced by this placement (resource or dependence). */
-    std::vector<graph::VertexId> displaced;
-    /**
-     * The subset of `displaced` evicted to free the *chosen* alternative's
-     * resources (forced placements only; §3.4/Figure 4). The remainder of
-     * `displaced` are successors displaced for dependence violations.
-     */
-    std::vector<graph::VertexId> resourceDisplaced;
-};
+// TraceEvent, AttemptStatus and the per-attempt counters moved to
+// sched/attempt_feedback.hpp (the strategy-neutral attempt vocabulary
+// shared by every backend); this header re-exports them via the include
+// above, so existing includers keep compiling unchanged.
 
 /** Options for one iterative-scheduling attempt. */
 struct IterativeScheduleOptions
@@ -63,6 +39,15 @@ struct IterativeScheduleOptions
     std::uint64_t randomSeed = 1;
     /** When non-null, every scheduling step is appended here. */
     std::vector<TraceEvent>* trace = nullptr;
+    /**
+     * When non-null, a failed attempt writes its bottleneck report here
+     * (unplaceable operations, displacement storm, contended resource
+     * classes — see sched/attempt_feedback.hpp). A successful attempt
+     * clears the sink. Collection costs one per-vertex counter bump per
+     * displacement plus an O(V) summary per attempt; a null sink keeps
+     * the hot path exactly as before.
+     */
+    AttemptFeedback* feedback = nullptr;
     /**
      * Sink receiving the phases surrounding scheduling (MII bounds, and
      * the Phase::kIiAttempt samples the II-search driver replays for the
@@ -88,19 +73,6 @@ struct ScheduleResult
     std::int64_t stepsUsed = 0;
     /** Operations displaced during the attempt. */
     std::int64_t unschedules = 0;
-};
-
-/** Why one trySchedule invocation ended the way it did. */
-enum class AttemptStatus
-{
-    /** A complete legal modulo schedule was produced. */
-    kScheduled,
-    /** The step budget ran out with operations still unscheduled. */
-    kBudgetExhausted,
-    /** Some operation has no usable alternative at this II. */
-    kInfeasible,
-    /** The cancellation token's ceiling dropped below this II mid-run. */
-    kCancelled,
 };
 
 /**

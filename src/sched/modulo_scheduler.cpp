@@ -7,6 +7,7 @@
 
 #include "graph/graph_builder.hpp"
 #include "mii/mii.hpp"
+#include "sched/feedback_probe.hpp"
 #include "sched/schedule.hpp"
 #include "support/error.hpp"
 
@@ -15,12 +16,13 @@ namespace ims::sched {
 ModuloScheduleOutcome
 runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
             std::int64_t budget, const IiAttemptFn& attempt,
-            support::Counters* counters, support::TelemetrySink* telemetry,
+            const IiInfeasibilityProbe& probe, support::Counters* counters,
+            support::TelemetrySink* telemetry,
             const std::function<std::string()>& exhausted_message)
 {
     const auto strategy = makeIiSearchStrategy(options);
     IiSearchResult found =
-        strategy->search(mii, mii + options.maxIiIncrease, attempt);
+        strategy->search(mii, mii + options.maxIiIncrease, attempt, probe);
 
     // Fold the deterministic prefix into the caller-visible accounting:
     // the counter deltas and the replayed Phase::kIiAttempt samples cover
@@ -51,6 +53,7 @@ runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
     outcome.search.attemptsCancelled = found.attemptsCancelled;
     outcome.search.attemptsWasted = found.attemptsWasted;
     outcome.search.attemptsProvenInfeasible = found.attemptsProvenInfeasible;
+    outcome.search.skippedIis = found.skippedIis;
     outcome.search.wallSeconds = found.wallSeconds;
     outcome.search.cpuSeconds = found.cpuSeconds;
     outcome.search.records = std::move(found.records);
@@ -62,9 +65,12 @@ runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
     }
 
     // §4.3: "IterativeSchedule, on all but the last, successful
-    // invocation, expends its entire budget each time."
+    // invocation, expends its entire budget each time." Probe-skipped
+    // candidates never invoked the scheduler, so they bill nothing —
+    // the step saving the feedback strategy exists to deliver.
     outcome.totalSteps =
-        budget * (found.searchedIis - 1) + found.schedule->stepsUsed;
+        budget * (found.searchedIis - 1 - found.skippedIis) +
+        found.schedule->stepsUsed;
     outcome.totalUnschedules = found.schedule->unschedules;
     outcome.schedule = std::move(*found.schedule);
     return outcome;
@@ -105,6 +111,26 @@ runIterativeSchedule(const ir::Loop& loop,
     inner.telemetry = nullptr; // kIiAttempt samples are replayed by the
                                // driver for the deterministic prefix only
 
+    // Feedback strategy plumbing: one shared bottleneck-report sink is
+    // safe because the feedback strategy is single-worker by contract
+    // (plannedWorkers() == 1); the probe accumulates the bottleneck
+    // subgraph and decides candidates with the exact backend.
+    const bool wants_feedback =
+        options.search.kind == IiSearchKind::kFeedback;
+    AttemptFeedback feedback_sink;
+    if (wants_feedback)
+        inner.feedback = &feedback_sink;
+    std::optional<FeedbackProbe> prober;
+    IiInfeasibilityProbe probe;
+    if (wants_feedback && options.search.feedbackSkipInfeasible) {
+        prober.emplace(loop, machine, graph, sccs,
+                       options.search.feedbackSubgraphCap,
+                       options.search.feedbackProbeBudget);
+        probe = [&prober](int ii, const AttemptFeedback& feedback) {
+            return (*prober)(ii, feedback);
+        };
+    }
+
     struct WorkerState
     {
         support::Counters counters;
@@ -126,12 +152,14 @@ runIterativeSchedule(const ir::Loop& loop,
                 state.scheduler->trySchedule(ii, budget, &cancel, &status);
             out.status = status;
             out.counters = state.counters;
+            if (wants_feedback)
+                out.feedback = feedback_sink;
             return out;
         };
 
     ModuloScheduleOutcome outcome = runIiSearch(
-        options.search, mii.resMii, mii.mii, budget, attempt, counters,
-        options.telemetry, [&] {
+        options.search, mii.resMii, mii.mii, budget, attempt, probe,
+        counters, options.telemetry, [&] {
             return "no modulo schedule found for loop '" + loop.name() +
                    "' within " +
                    std::to_string(options.search.maxIiIncrease) +

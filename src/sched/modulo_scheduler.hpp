@@ -25,7 +25,7 @@ namespace ims::sched {
  */
 struct IiSearchStats
 {
-    /** "linear" or "racing". */
+    /** "linear", "racing" or "feedback". */
     std::string strategy = "linear";
     /** Workers the search ran with. */
     int workers = 1;
@@ -43,6 +43,13 @@ struct IiSearchStats
      * (see sched/exact_scheduler.hpp).
      */
     int attemptsProvenInfeasible = 0;
+    /**
+     * Deterministic-prefix candidates the feedback strategy skipped
+     * because its probe proved them infeasible without attempting them
+     * (their records carry `skipped`; no budget is billed for them).
+     * Deterministic; always 0 for linear/racing.
+     */
+    int skippedIis = 0;
     /** End-to-end wall time of the search. */
     double wallSeconds = 0.0;
     /** Summed per-attempt wall times (> wallSeconds measures overlap). */
@@ -91,7 +98,15 @@ struct ModuloScheduleOutcome
  *
  * Every backend behind sched::schedule() (iterative, slack, exact) is a
  * thin wrapper over this driver; they differ only in the attempt
- * callback and the exhaustion message.
+ * callback, the infeasibility probe they can offer the feedback
+ * strategy, and the exhaustion message.
+ *
+ * `probe` is consumed by the feedback strategy only (see
+ * IiInfeasibilityProbe); pass an empty function when the backend has no
+ * sound infeasibility oracle — the feedback strategy then degenerates to
+ * the linear walk. Budget accounting bills every *attempted* failed
+ * candidate its full budget; probe-skipped candidates bill nothing
+ * (that saving is the strategy's point).
  *
  * @throws support::CodedError (code "sched.ii_exhausted", message built
  *         lazily from `exhausted_message`) when every candidate fails.
@@ -99,8 +114,21 @@ struct ModuloScheduleOutcome
 ModuloScheduleOutcome
 runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
             std::int64_t budget, const IiAttemptFn& attempt,
-            support::Counters* counters, support::TelemetrySink* telemetry,
+            const IiInfeasibilityProbe& probe, support::Counters* counters,
+            support::TelemetrySink* telemetry,
             const std::function<std::string()>& exhausted_message);
+
+/** Probe-less convenience overload (linear/racing callers). */
+inline ModuloScheduleOutcome
+runIiSearch(const IiSearchOptions& options, int res_mii, int mii,
+            std::int64_t budget, const IiAttemptFn& attempt,
+            support::Counters* counters, support::TelemetrySink* telemetry,
+            const std::function<std::string()>& exhausted_message)
+{
+    return runIiSearch(options, res_mii, mii, budget, attempt,
+                       IiInfeasibilityProbe{}, counters, telemetry,
+                       exhausted_message);
+}
 
 } // namespace ims::sched
 

@@ -16,6 +16,11 @@ namespace ims::service {
  * produced PipelineResult:
  *  - the II-search strategy kind and worker count (the racing search is
  *    bit-identical to linear at any thread count, see docs/ALGORITHM.md),
+ *  - the feedback-search knobs (subgraph cap, skip switch, probe
+ *    budget): the feedback strategy's skips are sound infeasibility
+ *    proofs, so its winning II and schedule equal the linear search's
+ *    for every knob setting — feedback requests share cache lines with
+ *    linear ones,
  *  - telemetry sinks and trace buffers (observability-only pointers).
  *
  * Everything else — backend strategy, BudgetRatio, maxIiIncrease,

@@ -9,6 +9,7 @@
 #include "machine/cydra5.hpp"
 #include "machine/machines.hpp"
 #include "sched/ii_search.hpp"
+#include "sched/attempt_feedback.hpp"
 #include "sched/iterative_scheduler.hpp"
 #include "sched/schedule.hpp"
 #include "support/cancellation.hpp"
